@@ -1,0 +1,43 @@
+// Regenerates Fig. 5 (a-d): YAFIM speedup as the cluster grows from 4 to
+// 12 nodes (16 to 48 cores) with the dataset fixed.
+//
+// Methodology: the mining run is recorded once per dataset (the engine's
+// StageRecords are cluster-independent), then priced under each cluster
+// size -- see sim/metrics.h. The paper reports near-linear scaling.
+#include "common.h"
+
+using namespace yafim;
+using namespace yafim::benchharness;
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv, /*default_scale=*/1.0);
+
+  std::printf("== Fig. 5: YAFIM speedup vs cores, dataset fixed "
+              "(scale=%.2f) ==\n\n",
+              args.scale);
+
+  const char subfig[] = {'a', 'b', 'c', 'd'};
+  auto benches = datagen::make_paper_benchmarks(args.scale);
+  for (size_t i = 0; i < benches.size(); ++i) {
+    const auto& bench = benches[i];
+    sim::SimReport report;
+    const auto run = run_yafim(bench, sim::ClusterConfig::paper(), &report);
+    YAFIM_CHECK(run.itemsets.total() > 0, "nothing mined");
+
+    std::printf("(%c) %s: Sup = %s\n", subfig[i], bench.name.c_str(),
+                support_pct(bench.paper_min_support).c_str());
+    Table table({"nodes", "cores", "time(s)", "speedup vs 16 cores"});
+    double base = 0.0;
+    for (u32 nodes : {4u, 6u, 8u, 10u, 12u}) {
+      const sim::CostModel model{sim::ClusterConfig::with_nodes(nodes)};
+      const double t = report.total_seconds(model);
+      if (nodes == 4) base = t;
+      table.add_row({Table::num(u64{nodes}), Table::num(u64{nodes * 4}),
+                     Table::num(t), Table::num(base / t, 2) + "x"});
+    }
+    print_table(table, args);
+    std::printf("\n");
+  }
+  std::printf("(paper: near-linear decrease of execution time in cores)\n");
+  return 0;
+}

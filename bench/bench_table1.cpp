@@ -1,0 +1,32 @@
+// Regenerates Table I: properties of the benchmark datasets, printing the
+// paper-reported values next to our regenerated datasets' measured ones.
+#include "common.h"
+
+using namespace yafim;
+using namespace yafim::benchharness;
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv, /*default_scale=*/1.0);
+
+  std::printf("== Table I: properties of datasets (paper vs regenerated, "
+              "scale=%.2f) ==\n",
+              args.scale);
+  Table table({"Dataset", "Items(paper)", "Items(ours)", "Trans(paper)",
+               "Trans(ours)", "AvgLen(ours)", "MinSup"});
+
+  auto benches = datagen::make_paper_benchmarks(args.scale);
+  benches.push_back(datagen::make_medical(args.scale));
+  for (const auto& bench : benches) {
+    const auto stats = bench.db.stats();
+    table.add_row({bench.name, Table::num(u64{bench.paper_num_items}),
+                   Table::num(u64{stats.item_universe}),
+                   Table::num(bench.paper_num_transactions),
+                   Table::num(stats.num_transactions),
+                   Table::num(stats.avg_length, 1),
+                   support_pct(bench.paper_min_support)});
+  }
+  print_table(table, args);
+  std::printf("(Medical is the §V-D workload, not part of the paper's "
+              "Table I.)\n");
+  return 0;
+}

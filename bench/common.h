@@ -1,0 +1,91 @@
+// Shared plumbing for the figure/table benchmark harnesses.
+//
+// Every harness regenerates one table or figure of the paper: it runs the
+// real miners over the regenerated benchmark datasets on the simulated
+// 12-node cluster and prints the same rows/series the paper reports
+// (simulated seconds; see DESIGN.md §5 for the methodology). `--scale=F`
+// scales dataset sizes (default 1.0 = paper-sized datasets; the sizeup
+// bench uses smaller defaults to keep host runtime modest).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "datagen/benchmarks.h"
+#include "engine/context.h"
+#include "fim/mr_apriori.h"
+#include "fim/yafim.h"
+#include "simfs/simfs.h"
+#include "util/log.h"
+#include "util/table.h"
+
+namespace yafim::benchharness {
+
+struct Args {
+  double scale = 1.0;
+  bool csv = false;
+};
+
+inline Args parse_args(int argc, char** argv, double default_scale = 1.0) {
+  Args args;
+  args.scale = default_scale;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      args.scale = std::atof(argv[i] + 8);
+      YAFIM_CHECK(args.scale > 0.0, "--scale must be positive");
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      args.csv = true;
+    } else if (std::strncmp(argv[i], "--benchmark", 11) == 0) {
+      // Tolerate google-benchmark-style flags so `for b in bench/*` sweeps
+      // can pass uniform flags.
+    } else {
+      std::fprintf(stderr, "usage: %s [--scale=F] [--csv]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  set_log_level(LogLevel::kWarn);
+  return args;
+}
+
+inline void print_table(const Table& table, const Args& args) {
+  std::fputs(args.csv ? table.to_csv().c_str() : table.to_ascii().c_str(),
+             stdout);
+}
+
+/// One YAFIM run on a fresh paper-cluster context. Returns the MiningRun
+/// and (optionally) hands back the context's report for replays.
+inline fim::MiningRun run_yafim(const datagen::BenchmarkDataset& bench,
+                                sim::ClusterConfig cluster,
+                                sim::SimReport* report_out = nullptr) {
+  engine::Context ctx(engine::Context::Options{.cluster = cluster});
+  simfs::SimFS fs(cluster);
+  fim::YafimOptions opt;
+  opt.min_support = bench.paper_min_support;
+  auto run = fim::yafim_mine(ctx, fs, bench.db, opt);
+  if (report_out) *report_out = ctx.report();
+  return run;
+}
+
+/// One MRApriori run on a fresh paper-cluster context.
+inline fim::MiningRun run_mr(const datagen::BenchmarkDataset& bench,
+                             sim::ClusterConfig cluster) {
+  engine::Context ctx(engine::Context::Options{.cluster = cluster});
+  simfs::SimFS fs(cluster);
+  fim::MrAprioriOptions opt;
+  opt.min_support = bench.paper_min_support;
+  return fim::mr_apriori_mine(ctx, fs, bench.db, opt);
+}
+
+inline std::string support_pct(double frac) {
+  char buf[32];
+  if (frac >= 0.01) {
+    std::snprintf(buf, sizeof(buf), "%.0f%%", frac * 100.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f%%", frac * 100.0);
+  }
+  return buf;
+}
+
+}  // namespace yafim::benchharness

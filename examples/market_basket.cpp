@@ -1,0 +1,75 @@
+// Market-basket analysis: the application Apriori was invented for.
+//
+// Generates a retail-like transaction stream with the IBM-Quest-style
+// generator, mines frequent itemsets with YAFIM, derives association rules
+// (confidence + lift), and compares YAFIM's simulated cluster time against
+// the MapReduce baseline on the same data -- a miniature of the paper's
+// main experiment driven entirely through the public API.
+//
+//   $ ./examples/market_basket [num_transactions]
+#include <cstdio>
+#include <cstdlib>
+
+#include "datagen/quest.h"
+#include "fim/mr_apriori.h"
+#include "fim/rules.h"
+#include "fim/yafim.h"
+#include "util/log.h"
+
+using namespace yafim;
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  const u64 num_transactions =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+
+  datagen::QuestParams params;
+  params.num_transactions = num_transactions;
+  params.avg_transaction_len = 8.0;
+  params.num_items = 300;      // catalogue size
+  params.num_patterns = 60;    // co-purchase motifs
+  params.seed = 42;
+  const fim::TransactionDB db = datagen::generate_quest(params);
+  const auto stats = db.stats();
+  std::printf("catalogue: %u items, %llu baskets, %.1f items/basket\n\n",
+              stats.num_items, (unsigned long long)stats.num_transactions,
+              stats.avg_length);
+
+  engine::Context ctx;
+  simfs::SimFS fs(ctx.cluster());
+  fim::YafimOptions options;
+  options.min_support = 0.01;
+  const auto run = fim::yafim_mine(ctx, fs, db, options);
+  std::printf("YAFIM: %llu frequent itemsets up to size %u in %.1f "
+              "simulated s (%zu passes)\n",
+              (unsigned long long)run.itemsets.total(), run.itemsets.max_k(),
+              run.total_seconds(), run.passes.size());
+
+  // Association rules: "customers who bought A also bought B".
+  fim::RuleOptions rule_options;
+  rule_options.min_confidence = 0.7;
+  const auto rules = fim::generate_rules(run.itemsets, rule_options);
+  std::printf("\ntop rules (min confidence 70%%), by confidence:\n");
+  const size_t show = rules.size() < 10 ? rules.size() : 10;
+  for (size_t i = 0; i < show; ++i) {
+    const fim::Rule& r = rules[i];
+    std::printf("  %s => %s  conf %.0f%%  lift %.1f  support %llu\n",
+                fim::to_string(r.antecedent).c_str(),
+                fim::to_string(r.consequent).c_str(), r.confidence * 100.0,
+                r.lift, (unsigned long long)r.support);
+  }
+  std::printf("  (%zu rules total)\n", rules.size());
+
+  // The same mining on the MapReduce substrate, for the paper's compare.
+  engine::Context mr_ctx;
+  simfs::SimFS mr_fs(mr_ctx.cluster());
+  fim::MrAprioriOptions mr_options;
+  mr_options.min_support = options.min_support;
+  const auto mr_run = fim::mr_apriori_mine(mr_ctx, mr_fs, db, mr_options);
+  std::printf("\nMRApriori on the same data: %.1f simulated s -> YAFIM is "
+              "%.1fx faster (results identical: %s)\n",
+              mr_run.total_seconds(),
+              mr_run.total_seconds() / run.total_seconds(),
+              mr_run.itemsets.same_itemsets(run.itemsets) ? "yes" : "NO");
+  return 0;
+}

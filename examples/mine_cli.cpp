@@ -1,0 +1,211 @@
+// mine_cli: command-line frequent-itemset miner over FIMI-format files.
+//
+// Reads a transaction database in the classic text format (one transaction
+// per line, space-separated integer item ids -- the format of the FIMI
+// repository datasets the paper uses), mines it with a selectable engine,
+// and prints the frequent itemsets and/or association rules.
+//
+//   $ ./examples/mine_cli --input=data.txt --minsup=0.35 --engine=yafim
+//   $ ./examples/mine_cli --generate=mushroom --minsup=0.35 --rules=0.8
+//
+// Engines: yafim (default), mrapriori, apriori, fpgrowth, eclat.
+// Without --input, --generate picks a built-in benchmark dataset
+// (mushroom | t10 | chess | pumsb | medical).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "datagen/benchmarks.h"
+#include "fim/apriori_seq.h"
+#include "fim/eclat.h"
+#include "fim/fp_growth.h"
+#include "fim/mr_apriori.h"
+#include "fim/rules.h"
+#include "fim/yafim.h"
+#include "util/log.h"
+#include "util/stopwatch.h"
+
+using namespace yafim;
+
+namespace {
+
+struct Options {
+  std::string input;
+  std::string generate;
+  std::string engine = "yafim";
+  double minsup = 0.1;
+  double rules_confidence = 0.0;  // 0 = no rules
+  u64 top = 20;
+  bool quiet = false;
+  /// Print the per-stage simulated-cost breakdown (parallel engines only).
+  bool stages = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--input=FILE | --generate=NAME] [--minsup=F]\n"
+      "          [--engine=yafim|mrapriori|apriori|fpgrowth|eclat]\n"
+      "          [--rules=MIN_CONF] [--top=N] [--quiet] [--stages]\n"
+      "generate names: mushroom t10 chess pumsb medical\n",
+      argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      return arg.c_str() + std::strlen(prefix);
+    };
+    if (arg.rfind("--input=", 0) == 0) {
+      opt.input = value("--input=");
+    } else if (arg.rfind("--generate=", 0) == 0) {
+      opt.generate = value("--generate=");
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      opt.engine = value("--engine=");
+    } else if (arg.rfind("--minsup=", 0) == 0) {
+      opt.minsup = std::atof(value("--minsup="));
+    } else if (arg.rfind("--rules=", 0) == 0) {
+      opt.rules_confidence = std::atof(value("--rules="));
+    } else if (arg.rfind("--top=", 0) == 0) {
+      opt.top = std::strtoull(value("--top="), nullptr, 10);
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--stages") {
+      opt.stages = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (opt.minsup <= 0.0 || opt.minsup > 1.0) usage(argv[0]);
+  if (opt.input.empty() && opt.generate.empty()) opt.generate = "mushroom";
+  return opt;
+}
+
+fim::TransactionDB load(const Options& opt, double* minsup) {
+  if (!opt.input.empty()) {
+    std::ifstream file(opt.input);
+    YAFIM_CHECK(file.good(), "cannot open --input file");
+    std::ostringstream text;
+    text << file.rdbuf();
+    return fim::TransactionDB::from_text(text.str());
+  }
+  datagen::BenchmarkDataset bench;
+  if (opt.generate == "mushroom") {
+    bench = datagen::make_mushroom();
+  } else if (opt.generate == "t10") {
+    bench = datagen::make_t10i4d100k();
+  } else if (opt.generate == "chess") {
+    bench = datagen::make_chess();
+  } else if (opt.generate == "pumsb") {
+    bench = datagen::make_pumsb_star();
+  } else if (opt.generate == "medical") {
+    bench = datagen::make_medical();
+  } else {
+    std::fprintf(stderr, "unknown --generate name: %s\n",
+                 opt.generate.c_str());
+    std::exit(2);
+  }
+  // Use the paper's threshold unless the user set one explicitly.
+  if (*minsup == 0.1) *minsup = bench.paper_min_support;
+  return std::move(bench.db);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  Options opt = parse(argc, argv);
+  const fim::TransactionDB db = load(opt, &opt.minsup);
+  const auto stats = db.stats();
+  if (!opt.quiet) {
+    std::printf("# %llu transactions, %u items, avg length %.1f; "
+                "minsup %.4g (count %llu); engine %s\n",
+                (unsigned long long)stats.num_transactions, stats.num_items,
+                stats.avg_length, opt.minsup,
+                (unsigned long long)db.min_support_count(opt.minsup),
+                opt.engine.c_str());
+  }
+
+  Stopwatch wall;
+  fim::MiningRun run;
+  double sim_seconds = -1.0;
+  if (opt.engine == "yafim" || opt.engine == "mrapriori") {
+    engine::Context ctx;
+    simfs::SimFS fs(ctx.cluster());
+    if (opt.engine == "yafim") {
+      fim::YafimOptions mine_opt;
+      mine_opt.min_support = opt.minsup;
+      run = fim::yafim_mine(ctx, fs, db, mine_opt);
+    } else {
+      fim::MrAprioriOptions mine_opt;
+      mine_opt.min_support = opt.minsup;
+      run = fim::mr_apriori_mine(ctx, fs, db, mine_opt);
+    }
+    sim_seconds = run.total_seconds();
+    if (opt.stages) {
+      std::fputs(
+          sim::format_report(ctx.report(), ctx.cost_model()).c_str(),
+          stdout);
+    }
+  } else if (opt.engine == "apriori") {
+    fim::AprioriOptions mine_opt;
+    mine_opt.min_support = opt.minsup;
+    run = fim::apriori_mine(db, mine_opt);
+  } else if (opt.engine == "fpgrowth") {
+    run = fim::fp_growth_mine(db, opt.minsup);
+  } else if (opt.engine == "eclat") {
+    run = fim::eclat_mine(db, opt.minsup);
+  } else {
+    usage(argv[0]);
+  }
+
+  if (!opt.quiet) {
+    std::printf("# mined %llu frequent itemsets (max size %u) in %.2fs "
+                "host time",
+                (unsigned long long)run.itemsets.total(),
+                run.itemsets.max_k(), wall.seconds());
+    if (sim_seconds >= 0.0) {
+      std::printf(", %.1fs simulated cluster time", sim_seconds);
+    }
+    std::printf("\n");
+  }
+
+  const auto sorted = run.itemsets.sorted();
+  const size_t show = opt.top == 0
+                          ? sorted.size()
+                          : std::min<size_t>(opt.top, sorted.size());
+  for (size_t i = 0; i < show; ++i) {
+    for (size_t j = 0; j < sorted[i].first.size(); ++j) {
+      std::printf("%s%u", j ? " " : "", sorted[i].first[j]);
+    }
+    std::printf("  (%llu)\n", (unsigned long long)sorted[i].second);
+  }
+  if (show < sorted.size()) {
+    std::printf("... %zu more (raise --top or pass --top=0 for all)\n",
+                sorted.size() - show);
+  }
+
+  if (opt.rules_confidence > 0.0) {
+    fim::RuleOptions rule_opt;
+    rule_opt.min_confidence = opt.rules_confidence;
+    const auto rules = fim::generate_rules(run.itemsets, rule_opt);
+    std::printf("# %zu rules at confidence >= %.2f\n", rules.size(),
+                opt.rules_confidence);
+    const size_t rshow = opt.top == 0
+                             ? rules.size()
+                             : std::min<size_t>(opt.top, rules.size());
+    for (size_t i = 0; i < rshow; ++i) {
+      std::printf("%s => %s  conf %.2f lift %.2f sup %llu\n",
+                  fim::to_string(rules[i].antecedent).c_str(),
+                  fim::to_string(rules[i].consequent).c_str(),
+                  rules[i].confidence, rules[i].lift,
+                  (unsigned long long)rules[i].support);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "datagen/dense.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace yafim::datagen {
+
+using fim::Item;
+using fim::Itemset;
+using fim::Transaction;
+
+Item dense_item(const DenseSpec& spec, u32 attribute, u32 value) {
+  YAFIM_CHECK(attribute < spec.attr_values.size(), "attribute out of range");
+  YAFIM_CHECK(value < spec.attr_values[attribute], "value out of range");
+  u32 offset = 0;
+  for (u32 a = 0; a < attribute; ++a) offset += spec.attr_values[a];
+  return offset + value;
+}
+
+Itemset planted_itemset(const DenseSpec& spec, const PlantedPattern& p) {
+  Itemset items;
+  items.reserve(p.cells.size());
+  for (const auto& [attribute, value] : p.cells) {
+    items.push_back(dense_item(spec, attribute, value));
+  }
+  fim::canonicalize(items);
+  return items;
+}
+
+fim::TransactionDB generate_dense(const DenseSpec& spec) {
+  const u32 num_attrs = static_cast<u32>(spec.attr_values.size());
+  YAFIM_CHECK(num_attrs > 0, "need at least one attribute");
+
+  // Precompute attribute offsets once.
+  std::vector<u32> offsets(num_attrs);
+  u32 offset = 0;
+  for (u32 a = 0; a < num_attrs; ++a) {
+    YAFIM_CHECK(spec.attr_values[a] >= 1, "attribute needs >= 1 value");
+    offsets[a] = offset;
+    offset += spec.attr_values[a];
+  }
+
+  Rng rng(spec.seed);
+  std::vector<Transaction> transactions;
+  transactions.reserve(spec.num_transactions);
+  std::vector<i64> fixed_value(num_attrs);  // -1 = free
+
+  for (u64 t = 0; t < spec.num_transactions; ++t) {
+    std::fill(fixed_value.begin(), fixed_value.end(), i64{-1});
+    // Planted patterns pin attribute values jointly.
+    for (const PlantedPattern& pattern : spec.planted) {
+      if (!rng.bernoulli(pattern.prob)) continue;
+      for (const auto& [attribute, value] : pattern.cells) {
+        fixed_value[attribute] = value;
+      }
+    }
+
+    Transaction tx;
+    tx.reserve(num_attrs);
+    for (u32 a = 0; a < num_attrs; ++a) {
+      const u32 value =
+          fixed_value[a] >= 0
+              ? static_cast<u32>(fixed_value[a])
+              : static_cast<u32>(
+                    rng.skewed_below(spec.attr_values[a], spec.value_skew));
+      tx.push_back(offsets[a] + value);
+    }
+    // One value per attribute => already sorted and unique.
+    YAFIM_DCHECK(fim::is_canonical(tx), "dense transaction must be canonical");
+    transactions.push_back(std::move(tx));
+  }
+  return fim::TransactionDB(std::move(transactions));
+}
+
+}  // namespace yafim::datagen

@@ -1,0 +1,66 @@
+#include "datagen/medical.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace yafim::datagen {
+
+using fim::Item;
+using fim::Itemset;
+using fim::Transaction;
+
+MedicalDataset generate_medical(const MedicalParams& params) {
+  YAFIM_CHECK(params.min_cluster_size >= 1 &&
+                  params.min_cluster_size <= params.max_cluster_size,
+              "bad cluster size range");
+  YAFIM_CHECK(params.num_codes >
+                  params.num_clusters * params.max_cluster_size,
+              "code universe too small for the clusters");
+  Rng rng(params.seed);
+
+  MedicalDataset out;
+  // Clusters draw from a reserved low-id code range (chronic-condition
+  // codes are the common ones in real data); sporadic codes span the rest.
+  u32 next_code = 0;
+  double prevalence = params.base_prevalence;
+  for (u32 c = 0; c < params.num_clusters; ++c) {
+    const u32 size = static_cast<u32>(
+        rng.range(params.min_cluster_size, params.max_cluster_size));
+    Itemset cluster;
+    for (u32 i = 0; i < size; ++i) cluster.push_back(next_code++);
+    out.clusters.push_back(std::move(cluster));
+    out.prevalence.push_back(prevalence);
+    prevalence *= params.prevalence_decay;
+  }
+
+  const u32 sporadic_base = next_code;
+  const u32 sporadic_range = params.num_codes - sporadic_base;
+
+  std::vector<Transaction> cases;
+  cases.reserve(params.num_cases);
+  for (u64 t = 0; t < params.num_cases; ++t) {
+    Transaction tx;
+    for (u32 c = 0; c < out.clusters.size(); ++c) {
+      if (!rng.bernoulli(out.prevalence[c])) continue;
+      for (Item code : out.clusters[c]) {
+        if (!rng.bernoulli(params.dropout)) tx.push_back(code);
+      }
+    }
+    const u32 extras = rng.poisson(params.sporadic_mean);
+    for (u32 e = 0; e < extras; ++e) {
+      tx.push_back(sporadic_base + static_cast<Item>(rng.skewed_below(
+                                       sporadic_range, params.sporadic_skew)));
+    }
+    if (tx.empty()) {
+      tx.push_back(sporadic_base + static_cast<Item>(rng.skewed_below(
+                                       sporadic_range, params.sporadic_skew)));
+    }
+    fim::canonicalize(tx);
+    cases.push_back(std::move(tx));
+  }
+  out.db = fim::TransactionDB(std::move(cases));
+  return out;
+}
+
+}  // namespace yafim::datagen

@@ -1,0 +1,51 @@
+// Synthetic medical-case data (paper §V-D).
+//
+// The paper applies YAFIM to a proprietary medical-case dataset to mine
+// relationships among medical entities (diagnoses, drugs), arguing the
+// resemblance between a medical case and a sales basket. That dataset is
+// not available, so we synthesise cases with the same structure: each case
+// is a set of medical codes, with comorbidity clusters (hypertension +
+// statin + aspirin, diabetes + metformin + neuropathy, ...) co-occurring
+// far above chance, plus a tail of sporadic codes.
+#pragma once
+
+#include "fim/dataset.h"
+#include "util/common.h"
+
+namespace yafim::datagen {
+
+struct MedicalParams {
+  /// Number of medical cases (transactions).
+  u64 num_cases = 40000;
+  /// Code universe (diagnoses + drugs + procedures).
+  u32 num_codes = 600;
+  /// Number of comorbidity clusters.
+  u32 num_clusters = 10;
+  /// Cluster sizes are drawn in [min, max].
+  u32 min_cluster_size = 3;
+  u32 max_cluster_size = 7;
+  /// Prevalence of the most common cluster; cluster c has prevalence
+  /// base_prevalence * decay^c.
+  double base_prevalence = 0.45;
+  double prevalence_decay = 0.72;
+  /// Probability a cluster member is omitted from a case that has the
+  /// cluster (incomplete records).
+  double dropout = 0.12;
+  /// Mean number of sporadic extra codes per case.
+  double sporadic_mean = 4.0;
+  /// Skew of sporadic code popularity.
+  double sporadic_skew = 2.5;
+  u64 seed = 7;
+};
+
+struct MedicalDataset {
+  fim::TransactionDB db;
+  /// The comorbidity clusters that were embedded (ground truth for tests
+  /// and for interpreting mined rules).
+  std::vector<fim::Itemset> clusters;
+  std::vector<double> prevalence;
+};
+
+MedicalDataset generate_medical(const MedicalParams& params);
+
+}  // namespace yafim::datagen

@@ -1,0 +1,82 @@
+#include "datagen/quest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace yafim::datagen {
+
+using fim::Item;
+using fim::Itemset;
+using fim::Transaction;
+
+fim::TransactionDB generate_quest(const QuestParams& params) {
+  YAFIM_CHECK(params.num_items >= 2, "need at least two items");
+  YAFIM_CHECK(params.num_patterns >= 1, "need at least one pattern");
+  Rng rng(params.seed);
+
+  // --- pattern pool -----------------------------------------------------
+  std::vector<Itemset> patterns(params.num_patterns);
+  std::vector<double> corruption(params.num_patterns);
+  std::vector<double> cumulative_weight(params.num_patterns);
+  double weight_sum = 0.0;
+
+  for (u32 p = 0; p < params.num_patterns; ++p) {
+    const u32 len = std::max<u32>(
+        1, rng.poisson(std::max(0.0, params.avg_pattern_len - 1.0)) + 1);
+    Itemset pattern;
+    // Correlated start: reuse a slice of the previous pattern.
+    if (p > 0 && !patterns[p - 1].empty()) {
+      const auto& prev = patterns[p - 1];
+      const u32 reuse = std::min<u32>(
+          static_cast<u32>(std::lround(params.correlation * len)),
+          static_cast<u32>(prev.size()));
+      for (u32 i = 0; i < reuse; ++i) {
+        pattern.push_back(prev[rng.below(prev.size())]);
+      }
+    }
+    while (pattern.size() < len) {
+      pattern.push_back(static_cast<Item>(rng.below(params.num_items)));
+    }
+    fim::canonicalize(pattern);
+    patterns[p] = std::move(pattern);
+
+    corruption[p] = std::clamp(rng.normal(params.corruption_mean, 0.1),
+                               0.0, 0.95);
+    // Exponentially distributed popularity.
+    weight_sum += -std::log(std::max(rng.uniform(), 1e-12));
+    cumulative_weight[p] = weight_sum;
+  }
+
+  auto pick_pattern = [&]() -> u32 {
+    const double x = rng.uniform() * weight_sum;
+    auto it = std::lower_bound(cumulative_weight.begin(),
+                               cumulative_weight.end(), x);
+    return static_cast<u32>(it - cumulative_weight.begin());
+  };
+
+  // --- transactions -----------------------------------------------------
+  std::vector<Transaction> transactions;
+  transactions.reserve(params.num_transactions);
+  for (u64 t = 0; t < params.num_transactions; ++t) {
+    const u32 target_len = std::max<u32>(
+        1, rng.poisson(std::max(0.0, params.avg_transaction_len - 1.0)) + 1);
+    Transaction tx;
+    // Bounded attempts: heavy corruption can make patterns contribute
+    // nothing, and we never want an unbounded loop in a generator.
+    for (u32 attempt = 0; attempt < 4 * target_len && tx.size() < target_len;
+         ++attempt) {
+      const u32 p = pick_pattern();
+      for (Item item : patterns[p]) {
+        if (!rng.bernoulli(corruption[p])) tx.push_back(item);
+      }
+    }
+    if (tx.empty()) tx.push_back(static_cast<Item>(rng.below(params.num_items)));
+    fim::canonicalize(tx);
+    transactions.push_back(std::move(tx));
+  }
+  return fim::TransactionDB(std::move(transactions));
+}
+
+}  // namespace yafim::datagen

@@ -1,0 +1,40 @@
+// Synthetic transaction generator in the style of the IBM Quest / Almaden
+// generator (Agrawal & Srikant 1994), which produced the paper's
+// T10I4D100K dataset. The naming convention: T = average transaction
+// length, I = average size of the maximal potentially-frequent patterns,
+// D = number of transactions.
+//
+// Mechanism: draw a pool of potential patterns (correlated item subsets
+// with exponentially distributed popularity), then assemble each
+// transaction from weighted pattern picks with per-pattern corruption,
+// topping up nothing -- a transaction is the union of its (corrupted)
+// patterns, truncated near its Poisson-drawn target length.
+#pragma once
+
+#include "fim/dataset.h"
+#include "util/common.h"
+
+namespace yafim::datagen {
+
+struct QuestParams {
+  /// D: number of transactions.
+  u64 num_transactions = 100000;
+  /// T: average transaction length (Poisson mean).
+  double avg_transaction_len = 10.0;
+  /// N: item universe size.
+  u32 num_items = 870;
+  /// L: number of potential patterns in the pool.
+  u32 num_patterns = 200;
+  /// I: average pattern length (Poisson mean, min 1).
+  double avg_pattern_len = 4.0;
+  /// Fraction of a pattern's items reused from the previous pattern.
+  double correlation = 0.5;
+  /// Mean per-pattern corruption level (probability an item is dropped
+  /// when the pattern is inserted into a transaction).
+  double corruption_mean = 0.5;
+  u64 seed = 20140519;  // IPDPSW'14 main-conference week
+};
+
+fim::TransactionDB generate_quest(const QuestParams& params);
+
+}  // namespace yafim::datagen

@@ -1,0 +1,62 @@
+// Accumulators: Spark's other shared-variable primitive (broadcast's
+// write-only sibling). Tasks add() into them; only the driver read()s.
+// Used for cheap cluster-wide counters (records filtered, candidates
+// pruned) without a dedicated reduce.
+//
+// Implementation: sharded atomics to avoid cross-thread contention on the
+// host pool; value() sums the shards. Adds are associative-commutative by
+// contract, exactly like Spark's.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace yafim::engine {
+
+/// An integral accumulator shared between driver and tasks.
+class Accumulator {
+ public:
+  Accumulator() {
+    for (auto& shard : shards_) shard.value.store(0, std::memory_order_relaxed);
+  }
+
+  /// Called from tasks (any thread).
+  void add(u64 delta) {
+    shard_for_thread().value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Driver-side read. Only exact once all tasks of the stage finished
+  /// (which actions guarantee).
+  u64 value() const {
+    u64 total = 0;
+    for (const auto& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void reset() {
+    for (auto& shard : shards_) shard.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {  // one cache line each
+    std::atomic<u64> value;
+  };
+
+  Shard& shard_for_thread() {
+    const u64 tid =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return shards_[mix64(tid) % kShards];
+  }
+
+  static constexpr size_t kShards = 16;
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace yafim::engine

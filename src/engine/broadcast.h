@@ -1,0 +1,38 @@
+// Broadcast variables (paper §IV-C).
+//
+// YAFIM must ship the candidate hash tree to every worker each iteration.
+// Spark's broadcast abstraction sends the payload to each node once (tree /
+// torrent distribution) instead of once per task through the driver. The
+// Context's ShareMode selects which of the two cost models the next stage is
+// charged with; the ablation bench flips it to reproduce the paper's
+// motivation for using broadcast.
+#pragma once
+
+#include <memory>
+
+#include "engine/context.h"
+#include "util/common.h"
+
+namespace yafim::engine {
+
+/// Read-only handle to a value shared with all tasks of subsequent stages.
+template <typename T>
+class Broadcast {
+ public:
+  explicit Broadcast(std::shared_ptr<const T> data) : data_(std::move(data)) {}
+
+  const T& operator*() const { return *data_; }
+  const T* operator->() const { return data_.get(); }
+  const T& value() const { return *data_; }
+
+ private:
+  std::shared_ptr<const T> data_;
+};
+
+template <typename T>
+Broadcast<T> Context::broadcast(T value, u64 bytes) {
+  add_pending_broadcast(bytes);
+  return Broadcast<T>(std::make_shared<const T>(std::move(value)));
+}
+
+}  // namespace yafim::engine

@@ -1,0 +1,40 @@
+// byte_size(): estimated serialized size of a value, used to price shuffle
+// and broadcast traffic. Customization point: overload byte_size() in the
+// yafim::engine namespace (or specialise for your type) when the default
+// (trivially-copyable => sizeof) is wrong.
+#pragma once
+
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/common.h"
+
+namespace yafim::engine {
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+constexpr u64 byte_size(const T&) {
+  return sizeof(T);
+}
+
+inline u64 byte_size(const std::string& s) { return 8 + s.size(); }
+
+template <typename T>
+u64 byte_size(const std::vector<T>& v) {
+  u64 total = 8;  // length prefix
+  if constexpr (std::is_trivially_copyable_v<T>) {
+    total += v.size() * sizeof(T);
+  } else {
+    for (const auto& x : v) total += byte_size(x);
+  }
+  return total;
+}
+
+template <typename A, typename B>
+u64 byte_size(const std::pair<A, B>& p) {
+  return byte_size(p.first) + byte_size(p.second);
+}
+
+}  // namespace yafim::engine

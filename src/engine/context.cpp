@@ -1,0 +1,62 @@
+#include "engine/context.h"
+
+#include "engine/work.h"
+
+namespace yafim::engine {
+
+Context::Context(Options opts)
+    : opts_(opts),
+      model_(opts.cluster),
+      pool_(opts.host_threads),
+      fault_(opts.cluster.nodes),
+      default_partitions_(opts.default_partitions
+                              ? opts.default_partitions
+                              : 2 * opts.cluster.total_cores()) {}
+
+void Context::run_stage(const std::string& label, u32 ntasks,
+                        const std::function<void(u32)>& body) {
+  static const std::atomic<u64> kNoShuffle{0};
+  run_stage_with_shuffle(label, ntasks, body, kNoShuffle);
+}
+
+std::vector<sim::TaskRecord> Context::measure_tasks(
+    u32 ntasks, const std::function<void(u32)>& body) {
+  YAFIM_CHECK(!ThreadPool::on_pool_thread(),
+              "stages must be launched from the driver thread");
+  std::vector<sim::TaskRecord> tasks(ntasks);
+  pool_.parallel_for(ntasks, [&](u32 i) {
+    work::Scope scope;
+    body(i);
+    tasks[i].work = scope.measured();
+  });
+  return tasks;
+}
+
+void Context::run_stage_with_shuffle(const std::string& label, u32 ntasks,
+                                     const std::function<void(u32)>& body,
+                                     const std::atomic<u64>& shuffle_bytes) {
+  std::vector<sim::TaskRecord> tasks = measure_tasks(ntasks, body);
+
+  sim::StageRecord record;
+  record.label = label;
+  record.kind = sim::StageKind::kSparkStage;
+  record.pass = pass_;
+  record.tasks = std::move(tasks);
+  record.shuffle_bytes = shuffle_bytes.load(std::memory_order_relaxed);
+  if (pending_broadcast_ > 0) {
+    if (opts_.share_mode == ShareMode::kBroadcast) {
+      record.broadcast_bytes = pending_broadcast_;
+    } else {
+      record.naive_ship_bytes = pending_broadcast_;
+    }
+    pending_broadcast_ = 0;
+  }
+  this->record(std::move(record));
+}
+
+void Context::record(sim::StageRecord record) {
+  std::lock_guard<std::mutex> lock(report_mutex_);
+  report_.add(std::move(record));
+}
+
+}  // namespace yafim::engine

@@ -1,0 +1,140 @@
+// Context: the minispark driver (SparkContext analogue).
+//
+// Owns the host thread pool, the simulated-cluster configuration and cost
+// model, the fault injector, and the run's SimReport. RDDs are created
+// through it (see engine/rdd.h for the template methods) and every stage an
+// action triggers is recorded here with deterministic work counters.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "engine/fault.h"
+#include "engine/thread_pool.h"
+#include "sim/cost_model.h"
+#include "sim/metrics.h"
+#include "util/common.h"
+
+namespace yafim::simfs {
+class SimFS;
+}
+
+namespace yafim::engine {
+
+template <typename T>
+class RDD;
+template <typename T>
+class Broadcast;
+
+/// How shared data reaches the workers (paper §IV-C): Spark broadcast
+/// variables (tree broadcast, the paper's choice) vs naively shipping a copy
+/// with every task through the driver (the bottleneck it calls out).
+enum class ShareMode { kBroadcast, kNaiveShip };
+
+/// Construction options for Context. Defined outside the class so it can be
+/// used as a default argument (nested classes with default member
+/// initializers cannot).
+struct ContextOptions {
+  sim::ClusterConfig cluster = sim::ClusterConfig::paper();
+  /// Host threads doing the real work; 0 = hardware concurrency.
+  u32 host_threads = 0;
+  /// Default number of RDD partitions; 0 = 2x simulated cores.
+  u32 default_partitions = 0;
+  ShareMode share_mode = ShareMode::kBroadcast;
+};
+
+class Context {
+ public:
+  using Options = ContextOptions;
+
+  explicit Context(Options opts = {});
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  const sim::ClusterConfig& cluster() const { return opts_.cluster; }
+  const sim::CostModel& cost_model() const { return model_; }
+  ThreadPool& pool() { return pool_; }
+  FaultInjector& fault_injector() { return fault_; }
+  ShareMode share_mode() const { return opts_.share_mode; }
+
+  sim::SimReport& report() { return report_; }
+  const sim::SimReport& report() const { return report_; }
+
+  /// Simulated seconds of everything recorded so far.
+  double sim_seconds() const { return report_.total_seconds(model_); }
+
+  u32 default_partitions() const { return default_partitions_; }
+  u32 next_rdd_id() { return next_rdd_id_.fetch_add(1); }
+
+  /// Pass tag applied to stages recorded from now on (Apriori iteration
+  /// number; 0 = outside any pass).
+  void set_pass(u32 pass) { pass_ = pass; }
+  u32 pass() const { return pass_; }
+
+  /// Stage bytes contributed by broadcast() calls since the last stage;
+  /// attached to the next recorded stage according to share_mode.
+  void add_pending_broadcast(u64 bytes) { pending_broadcast_ += bytes; }
+
+  /// Execute `body(0..ntasks-1)` on the pool, measure per-task work, and
+  /// record a StageRecord. `shuffle_bytes` may be filled in by the caller
+  /// after the fact via the returned record's index -- reduce_by_key uses
+  /// run_stage_with_shuffle instead.
+  void run_stage(const std::string& label, u32 ntasks,
+                 const std::function<void(u32)>& body);
+
+  /// As run_stage, but also records shuffle bytes produced by the stage.
+  /// `shuffle_bytes` is read after the tasks complete, so the body may
+  /// accumulate into it.
+  void run_stage_with_shuffle(const std::string& label, u32 ntasks,
+                              const std::function<void(u32)>& body,
+                              const std::atomic<u64>& shuffle_bytes);
+
+  /// Execute `body(0..ntasks-1)` on the pool and return the measured
+  /// per-task work, without recording a stage. Building block for
+  /// substrates (e.g. MapReduce) that assemble their own StageRecords.
+  std::vector<sim::TaskRecord> measure_tasks(
+      u32 ntasks, const std::function<void(u32)>& body);
+
+  /// Record driver-side/overhead cost (initial DFS load, candidate
+  /// generation, MR job startup).
+  void record(sim::StageRecord record);
+
+  // --- RDD factories; definitions in engine/rdd.h ---------------------
+  /// Distribute `data` over `nparts` partitions (0 = default_partitions).
+  template <typename T>
+  RDD<T> parallelize(std::vector<T> data, u32 nparts = 0);
+
+  /// Wrap pre-partitioned data (used by shuffles).
+  template <typename T>
+  RDD<T> from_partitions(std::vector<std::vector<T>> parts);
+
+  /// Load a text file from the simulated DFS as an RDD of lines (Spark's
+  /// textFile). Charges the DFS read plus the per-record input-format
+  /// parse cost; definition in engine/rdd.h.
+  RDD<std::string> text_file(simfs::SimFS& fs, const std::string& path,
+                             u32 min_partitions = 0);
+
+  /// Broadcast a value to all workers; definitions in engine/broadcast.h.
+  template <typename T>
+  Broadcast<T> broadcast(T value, u64 bytes);
+
+ private:
+  Options opts_;
+  sim::CostModel model_;
+  ThreadPool pool_;
+  FaultInjector fault_;
+  u32 default_partitions_;
+
+  std::mutex report_mutex_;
+  sim::SimReport report_;
+
+  std::atomic<u32> next_rdd_id_{0};
+  u32 pass_ = 0;
+  u64 pending_broadcast_ = 0;
+};
+
+}  // namespace yafim::engine

@@ -1,0 +1,44 @@
+#include "engine/fault.h"
+
+namespace yafim::engine {
+
+void FaultInjector::register_holder(CacheHolder* holder) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  holders_[holder->holder_id()] = holder;
+}
+
+void FaultInjector::unregister_holder(CacheHolder* holder) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = holders_.find(holder->holder_id());
+  if (it != holders_.end() && it->second == holder) holders_.erase(it);
+}
+
+bool FaultInjector::fail_partition(u32 rdd_id, u32 partition) {
+  CacheHolder* holder = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = holders_.find(rdd_id);
+    if (it == holders_.end()) return false;
+    holder = it->second;
+  }
+  return holder->drop_cached(partition);
+}
+
+u64 FaultInjector::kill_executor(u32 node) {
+  YAFIM_CHECK(node < nodes_, "no such node");
+  std::vector<CacheHolder*> holders;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    holders.reserve(holders_.size());
+    for (auto& [id, holder] : holders_) holders.push_back(holder);
+  }
+  u64 lost = 0;
+  for (CacheHolder* holder : holders) {
+    for (u32 p = node; p < holder->holder_partitions(); p += nodes_) {
+      if (holder->drop_cached(p)) ++lost;
+    }
+  }
+  return lost;
+}
+
+}  // namespace yafim::engine

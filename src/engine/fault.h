@@ -1,0 +1,67 @@
+// Fault injection for lineage-based recovery.
+//
+// RDDs are fault-tolerant through lineage: when a cached partition is lost
+// (its executor died), the engine recomputes just that partition from its
+// parents instead of restoring a replica. This module lets tests and demos
+// inject those losses deterministically.
+//
+// Cached RDD nodes register themselves here; kill_executor(node) drops every
+// cached partition whose simulated placement (partition % nodes) maps to
+// that node. fail_partition() targets one (rdd, partition) pair.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "util/common.h"
+
+namespace yafim::engine {
+
+/// Type-erased view of an RDD's partition cache, implemented by RDDNode<T>.
+class CacheHolder {
+ public:
+  virtual ~CacheHolder() = default;
+  virtual u32 holder_id() const = 0;
+  virtual u32 holder_partitions() const = 0;
+  /// Drop the cached copy of one partition. Returns true if a cached copy
+  /// was present and dropped.
+  virtual bool drop_cached(u32 partition) = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(u32 nodes) : nodes_(nodes) {}
+
+  /// Called by RDDNode when persist() is enabled / the node dies.
+  void register_holder(CacheHolder* holder);
+  void unregister_holder(CacheHolder* holder);
+
+  /// Drop one cached partition of one RDD. Returns false if no such RDD is
+  /// registered.
+  bool fail_partition(u32 rdd_id, u32 partition);
+
+  /// Simulate the death of one executor node: every cached partition placed
+  /// on it (partition % nodes == node) is dropped. Returns the number of
+  /// partitions lost.
+  u64 kill_executor(u32 node);
+
+  /// Number of partitions recomputed due to injected loss (bumped by the
+  /// RDD cache on a post-loss recompute).
+  u64 recomputations() const {
+    return recomputations_.load(std::memory_order_relaxed);
+  }
+  void note_recomputation() {
+    recomputations_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  u32 nodes_;
+  std::mutex mutex_;
+  std::unordered_map<u32, CacheHolder*> holders_;
+  std::atomic<u64> recomputations_{0};
+};
+
+}  // namespace yafim::engine

@@ -1,0 +1,977 @@
+// RDD<T>: a typed, lazy, partitioned, immutable dataset -- the minispark
+// analogue of Spark's resilient distributed dataset.
+//
+// * Narrow transformations (map/flatMap/filter/mapPartitions/union/sample)
+//   build lineage nodes and are fused at execution: one task computes the
+//   whole operator chain for one partition, exactly like a Spark stage.
+// * Wide operations (reduce_by_key) are stage boundaries: they execute a
+//   map-side-combine stage, hash-partition the results (accounting shuffle
+//   bytes), and run a reduce stage into a new materialized RDD.
+// * persist() caches computed partitions in (simulated) executor memory;
+//   a partition lost to fault injection is transparently recomputed from
+//   lineage (engine/fault.h).
+// * Actions (collect/count/reduce) run on the driver thread and record one
+//   StageRecord per stage with deterministic per-task work counters.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "engine/broadcast.h"
+#include "engine/bytes_of.h"
+#include "engine/context.h"
+#include "engine/work.h"
+#include "simfs/simfs.h"
+#include "util/rng.h"
+
+namespace yafim::engine {
+
+namespace detail {
+
+template <typename P>
+struct PairTraits {
+  static constexpr bool is_pair = false;
+  // Placeholders so default template arguments that name these typedefs are
+  // well-formed for non-pair T; the requires-clauses keep them unused.
+  using key_type = void;
+  using mapped_type = void;
+};
+
+template <typename K, typename V>
+struct PairTraits<std::pair<K, V>> {
+  static constexpr bool is_pair = true;
+  using key_type = K;
+  using mapped_type = V;
+};
+
+/// Base lineage node: owns the partition cache and fault-recovery logic.
+template <typename T>
+class Node : public CacheHolder {
+ public:
+  using Part = std::shared_ptr<const std::vector<T>>;
+
+  Node(Context& ctx, u32 nparts)
+      : ctx_(ctx), id_(ctx.next_rdd_id()), nparts_(nparts) {
+    YAFIM_CHECK(nparts_ > 0, "an RDD needs at least one partition");
+  }
+
+  ~Node() override {
+    if (persisted_) ctx_.fault_injector().unregister_holder(this);
+  }
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Recompute partition `pid` from lineage (never consults the cache).
+  virtual std::vector<T> compute(u32 pid) = 0;
+
+  Context& ctx() const { return ctx_; }
+  u32 id() const { return id_; }
+  u32 num_partitions() const { return nparts_; }
+
+  void persist() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (persisted_) return;
+    persisted_ = true;
+    cache_.resize(nparts_);
+    ever_cached_.assign(nparts_, false);
+    ctx_.fault_injector().register_holder(this);
+  }
+
+  bool persisted() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return persisted_;
+  }
+
+  /// Cache-aware partition access.
+  virtual Part get(u32 pid) {
+    YAFIM_DCHECK(pid < nparts_, "partition out of range");
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (persisted_ && cache_[pid]) return cache_[pid];
+    }
+    auto data = std::make_shared<const std::vector<T>>(compute(pid));
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!persisted_) return data;
+    if (!cache_[pid]) {
+      // A re-fill after a drop is a lineage recomputation (fault recovery).
+      if (ever_cached_[pid]) ctx_.fault_injector().note_recomputation();
+      cache_[pid] = std::move(data);
+      ever_cached_[pid] = true;
+    }
+    return cache_[pid];
+  }
+
+  // CacheHolder:
+  u32 holder_id() const override { return id_; }
+  u32 holder_partitions() const override { return nparts_; }
+  bool drop_cached(u32 pid) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!persisted_ || pid >= nparts_ || !cache_[pid]) return false;
+    cache_[pid].reset();
+    return true;
+  }
+
+ private:
+  Context& ctx_;
+  u32 id_;
+  u32 nparts_;
+
+  mutable std::mutex mutex_;
+  bool persisted_ = false;
+  std::vector<Part> cache_;
+  std::vector<bool> ever_cached_;
+};
+
+/// Data already resident per partition (parallelize(), shuffle outputs).
+/// Held by the driver, so it is never "lost" and needs no cache.
+template <typename T>
+class MaterializedNode final : public Node<T> {
+ public:
+  MaterializedNode(Context& ctx, std::vector<std::vector<T>> parts)
+      : Node<T>(ctx, static_cast<u32>(std::max<size_t>(1, parts.size()))) {
+    if (parts.empty()) parts.emplace_back();
+    data_.reserve(parts.size());
+    for (auto& p : parts) {
+      data_.push_back(std::make_shared<const std::vector<T>>(std::move(p)));
+    }
+  }
+
+  std::vector<T> compute(u32 pid) override { return *data_[pid]; }
+
+  typename Node<T>::Part get(u32 pid) override { return data_[pid]; }
+
+ private:
+  std::vector<typename Node<T>::Part> data_;
+};
+
+template <typename T, typename U, typename F>
+class MapNode final : public Node<U> {
+ public:
+  MapNode(std::shared_ptr<Node<T>> parent, F f)
+      : Node<U>(parent->ctx(), parent->num_partitions()),
+        parent_(std::move(parent)),
+        f_(std::move(f)) {}
+
+  std::vector<U> compute(u32 pid) override {
+    auto in = parent_->get(pid);
+    std::vector<U> out;
+    out.reserve(in->size());
+    for (const T& x : *in) {
+      work::add(1);
+      out.push_back(f_(x));
+    }
+    return out;
+  }
+
+ private:
+  std::shared_ptr<Node<T>> parent_;
+  F f_;
+};
+
+template <typename T, typename U, typename F>
+class FlatMapNode final : public Node<U> {
+ public:
+  FlatMapNode(std::shared_ptr<Node<T>> parent, F f)
+      : Node<U>(parent->ctx(), parent->num_partitions()),
+        parent_(std::move(parent)),
+        f_(std::move(f)) {}
+
+  std::vector<U> compute(u32 pid) override {
+    auto in = parent_->get(pid);
+    std::vector<U> out;
+    for (const T& x : *in) {
+      auto produced = f_(x);
+      work::add(1 + produced.size());
+      out.insert(out.end(), std::make_move_iterator(produced.begin()),
+                 std::make_move_iterator(produced.end()));
+    }
+    return out;
+  }
+
+ private:
+  std::shared_ptr<Node<T>> parent_;
+  F f_;
+};
+
+template <typename T, typename F>
+class FilterNode final : public Node<T> {
+ public:
+  FilterNode(std::shared_ptr<Node<T>> parent, F f)
+      : Node<T>(parent->ctx(), parent->num_partitions()),
+        parent_(std::move(parent)),
+        f_(std::move(f)) {}
+
+  std::vector<T> compute(u32 pid) override {
+    auto in = parent_->get(pid);
+    std::vector<T> out;
+    for (const T& x : *in) {
+      work::add(1);
+      if (f_(x)) out.push_back(x);
+    }
+    return out;
+  }
+
+ private:
+  std::shared_ptr<Node<T>> parent_;
+  F f_;
+};
+
+template <typename T, typename U, typename F>
+class MapPartitionsNode final : public Node<U> {
+ public:
+  MapPartitionsNode(std::shared_ptr<Node<T>> parent, F f)
+      : Node<U>(parent->ctx(), parent->num_partitions()),
+        parent_(std::move(parent)),
+        f_(std::move(f)) {}
+
+  std::vector<U> compute(u32 pid) override {
+    auto in = parent_->get(pid);
+    work::add(in->size());
+    return f_(*in);
+  }
+
+ private:
+  std::shared_ptr<Node<T>> parent_;
+  F f_;
+};
+
+template <typename T>
+class UnionNode final : public Node<T> {
+ public:
+  UnionNode(std::shared_ptr<Node<T>> left, std::shared_ptr<Node<T>> right)
+      : Node<T>(left->ctx(),
+                left->num_partitions() + right->num_partitions()),
+        left_(std::move(left)),
+        right_(std::move(right)) {
+    YAFIM_CHECK(&left_->ctx() == &right_->ctx(),
+                "union of RDDs from different contexts");
+  }
+
+  std::vector<T> compute(u32 pid) override {
+    if (pid < left_->num_partitions()) return *left_->get(pid);
+    return *right_->get(pid - left_->num_partitions());
+  }
+
+  typename Node<T>::Part get(u32 pid) override {
+    if (this->persisted()) return Node<T>::get(pid);
+    if (pid < left_->num_partitions()) return left_->get(pid);
+    return right_->get(pid - left_->num_partitions());
+  }
+
+ private:
+  std::shared_ptr<Node<T>> left_;
+  std::shared_ptr<Node<T>> right_;
+};
+
+template <typename T>
+class SampleNode final : public Node<T> {
+ public:
+  SampleNode(std::shared_ptr<Node<T>> parent, double fraction, u64 seed)
+      : Node<T>(parent->ctx(), parent->num_partitions()),
+        parent_(std::move(parent)),
+        fraction_(fraction),
+        seed_(seed) {}
+
+  std::vector<T> compute(u32 pid) override {
+    auto in = parent_->get(pid);
+    Rng rng = Rng(seed_).split(pid);
+    std::vector<T> out;
+    for (const T& x : *in) {
+      work::add(1);
+      if (rng.bernoulli(fraction_)) out.push_back(x);
+    }
+    return out;
+  }
+
+ private:
+  std::shared_ptr<Node<T>> parent_;
+  double fraction_;
+  u64 seed_;
+};
+
+template <typename T>
+class CoalesceNode final : public Node<T> {
+ public:
+  CoalesceNode(std::shared_ptr<Node<T>> parent, u32 num_partitions)
+      : Node<T>(parent->ctx(), num_partitions), parent_(std::move(parent)) {}
+
+  std::vector<T> compute(u32 pid) override {
+    // New partition pid owns the contiguous parent range [begin, end).
+    const u32 parents = parent_->num_partitions();
+    const u32 mine = this->num_partitions();
+    const u32 begin = static_cast<u32>(u64{pid} * parents / mine);
+    const u32 end = static_cast<u32>(u64{pid + 1} * parents / mine);
+    std::vector<T> out;
+    for (u32 p = begin; p < end; ++p) {
+      auto part = parent_->get(p);
+      work::add(part->size());
+      out.insert(out.end(), part->begin(), part->end());
+    }
+    return out;
+  }
+
+ private:
+  std::shared_ptr<Node<T>> parent_;
+};
+
+template <typename T>
+class ZipWithIndexNode final : public Node<std::pair<T, u64>> {
+ public:
+  ZipWithIndexNode(std::shared_ptr<Node<T>> parent, std::vector<u64> offsets)
+      : Node<std::pair<T, u64>>(parent->ctx(), parent->num_partitions()),
+        parent_(std::move(parent)),
+        offsets_(std::move(offsets)) {}
+
+  std::vector<std::pair<T, u64>> compute(u32 pid) override {
+    auto in = parent_->get(pid);
+    std::vector<std::pair<T, u64>> out;
+    out.reserve(in->size());
+    u64 index = offsets_[pid];
+    for (const T& x : *in) {
+      work::add(1);
+      out.emplace_back(x, index++);
+    }
+    return out;
+  }
+
+ private:
+  std::shared_ptr<Node<T>> parent_;
+  std::vector<u64> offsets_;
+};
+
+}  // namespace detail
+
+/// Value-semantic handle to a lineage node. Cheap to copy.
+template <typename T>
+class RDD {
+ public:
+  using value_type = T;
+
+  explicit RDD(std::shared_ptr<detail::Node<T>> node)
+      : node_(std::move(node)) {}
+
+  u32 num_partitions() const { return node_->num_partitions(); }
+  u32 id() const { return node_->id(); }
+  Context& ctx() const { return node_->ctx(); }
+
+  /// Cache computed partitions in executor memory (Spark's MEMORY_ONLY).
+  RDD& persist() {
+    node_->persist();
+    return *this;
+  }
+  bool persisted() const { return node_->persisted(); }
+
+  // --- narrow transformations (lazy) ---------------------------------
+
+  template <typename F>
+  auto map(F f) const {
+    using U = std::decay_t<std::invoke_result_t<F, const T&>>;
+    return RDD<U>(std::make_shared<detail::MapNode<T, U, F>>(node_,
+                                                             std::move(f)));
+  }
+
+  /// `f` must return an iterable container of the output element type.
+  template <typename F>
+  auto flat_map(F f) const {
+    using C = std::decay_t<std::invoke_result_t<F, const T&>>;
+    using U = typename C::value_type;
+    return RDD<U>(
+        std::make_shared<detail::FlatMapNode<T, U, F>>(node_, std::move(f)));
+  }
+
+  template <typename F>
+  RDD<T> filter(F f) const {
+    return RDD<T>(
+        std::make_shared<detail::FilterNode<T, F>>(node_, std::move(f)));
+  }
+
+  /// `f(const std::vector<T>& partition) -> std::vector<U>`.
+  template <typename F>
+  auto map_partitions(F f) const {
+    using C = std::decay_t<std::invoke_result_t<F, const std::vector<T>&>>;
+    using U = typename C::value_type;
+    return RDD<U>(std::make_shared<detail::MapPartitionsNode<T, U, F>>(
+        node_, std::move(f)));
+  }
+
+  RDD<T> union_with(const RDD<T>& other) const {
+    return RDD<T>(
+        std::make_shared<detail::UnionNode<T>>(node_, other.node_));
+  }
+
+  /// Bernoulli sample without replacement; deterministic in `seed`.
+  RDD<T> sample(double fraction, u64 seed) const {
+    return RDD<T>(
+        std::make_shared<detail::SampleNode<T>>(node_, fraction, seed));
+  }
+
+  // --- pair-RDD operations --------------------------------------------
+
+  /// Reduce partition count without a shuffle (Spark's coalesce): each new
+  /// partition concatenates a contiguous range of parent partitions.
+  RDD<T> coalesce(u32 num_partitions) const {
+    YAFIM_CHECK(num_partitions > 0, "coalesce() needs >= 1 partition");
+    return RDD<T>(std::make_shared<detail::CoalesceNode<T>>(
+        node_, std::min(num_partitions, node_->num_partitions())));
+  }
+
+  /// Pair every element with its global index in partition order (Spark's
+  /// zipWithIndex). Runs one counting stage to learn partition offsets.
+  auto zip_with_index(const std::string& label = "zipWithIndex") const {
+    Context& ctx = node_->ctx();
+    const u32 n = node_->num_partitions();
+    std::vector<u64> sizes(n, 0);
+    ctx.run_stage(label + ":count", n,
+                  [&](u32 pid) { sizes[pid] = node_->get(pid)->size(); });
+    std::vector<u64> offsets(n, 0);
+    for (u32 p = 1; p < n; ++p) offsets[p] = offsets[p - 1] + sizes[p - 1];
+    return RDD<std::pair<T, u64>>(
+        std::make_shared<detail::ZipWithIndexNode<T>>(node_,
+                                                      std::move(offsets)));
+  }
+
+  // --- pair-RDD operations (continued) ---------------------------------
+
+  /// Generalised keyed aggregation (Spark's aggregateByKey): values fold
+  /// into an accumulator A via `seq` map-side, accumulators merge via
+  /// `comb` across the shuffle.
+  template <typename A, typename Seq, typename Comb,
+            typename Hash = std::hash<typename detail::PairTraits<T>::key_type>>
+    requires detail::PairTraits<T>::is_pair
+  auto aggregate_by_key(A zero, Seq seq, Comb comb, u32 out_partitions = 0,
+                        Hash hash = Hash{},
+                        const std::string& label = "aggregateByKey") const {
+    using K = typename detail::PairTraits<T>::key_type;
+
+    Context& ctx = node_->ctx();
+    const u32 map_tasks = node_->num_partitions();
+    const u32 reduce_tasks =
+        out_partitions ? out_partitions : node_->num_partitions();
+
+    using KA = std::pair<K, A>;
+    std::vector<std::vector<std::vector<KA>>> map_out(map_tasks);
+    std::atomic<u64> shuffle_bytes{0};
+    ctx.run_stage_with_shuffle(
+        label + ":map-combine", map_tasks,
+        [&](u32 pid) {
+          auto in = node_->get(pid);
+          std::unordered_map<K, A, Hash> acc;
+          for (const auto& [k, v] : *in) {
+            work::add(1);
+            auto [it, inserted] = acc.try_emplace(k, zero);
+            it->second = seq(std::move(it->second), v);
+            (void)inserted;
+          }
+          auto& buckets = map_out[pid];
+          buckets.resize(reduce_tasks);
+          u64 bytes = 0;
+          for (auto& [k, a] : acc) {
+            const u32 r = static_cast<u32>(hash(k) % reduce_tasks);
+            bytes += byte_size(k) + byte_size(a);
+            buckets[r].emplace_back(std::move(const_cast<K&>(k)),
+                                    std::move(a));
+          }
+          shuffle_bytes.fetch_add(bytes, std::memory_order_relaxed);
+        },
+        shuffle_bytes);
+
+    std::vector<std::vector<KA>> out(reduce_tasks);
+    ctx.run_stage(label + ":reduce", reduce_tasks, [&](u32 r) {
+      std::unordered_map<K, A, Hash> acc;
+      for (u32 m = 0; m < map_tasks; ++m) {
+        for (auto& [k, a] : map_out[m][r]) {
+          work::add(1);
+          auto [it, inserted] = acc.try_emplace(std::move(k), std::move(a));
+          if (!inserted) it->second = comb(std::move(it->second), a);
+        }
+      }
+      out[r].reserve(acc.size());
+      for (auto& [k, a] : acc) {
+        out[r].emplace_back(std::move(const_cast<K&>(k)), std::move(a));
+      }
+    });
+    return ctx.from_partitions(std::move(out));
+  }
+
+  /// Shuffle + aggregate values per key, with map-side combining (Spark's
+  /// reduceByKey). Only available when T is std::pair<K, V>. `Hash` must
+  /// hash K deterministically.
+  template <typename F,
+            typename Hash = std::hash<typename detail::PairTraits<T>::key_type>>
+    requires detail::PairTraits<T>::is_pair
+  RDD<T> reduce_by_key(F combine, u32 out_partitions = 0, Hash hash = Hash{},
+                       const std::string& label = "reduceByKey") const {
+    using K = typename detail::PairTraits<T>::key_type;
+    using V = typename detail::PairTraits<T>::mapped_type;
+
+    Context& ctx = node_->ctx();
+    const u32 map_tasks = node_->num_partitions();
+    const u32 reduce_tasks =
+        out_partitions ? out_partitions : node_->num_partitions();
+
+    // Map side: combine locally, then hash-partition into reduce buckets.
+    std::vector<std::vector<std::vector<T>>> map_out(map_tasks);
+    std::atomic<u64> shuffle_bytes{0};
+    ctx.run_stage_with_shuffle(
+        label + ":map-combine", map_tasks,
+        [&](u32 pid) {
+          auto in = node_->get(pid);
+          std::unordered_map<K, V, Hash> acc;
+          acc.reserve(in->size());
+          for (const auto& [k, v] : *in) {
+            work::add(1);
+            auto [it, inserted] = acc.try_emplace(k, v);
+            if (!inserted) it->second = combine(it->second, v);
+          }
+          auto& buckets = map_out[pid];
+          buckets.resize(reduce_tasks);
+          u64 bytes = 0;
+          for (auto& [k, v] : acc) {
+            const u32 r = static_cast<u32>(hash(k) % reduce_tasks);
+            bytes += byte_size(k) + byte_size(v);
+            buckets[r].emplace_back(std::move(const_cast<K&>(k)), std::move(v));
+          }
+          shuffle_bytes.fetch_add(bytes, std::memory_order_relaxed);
+        },
+        shuffle_bytes);
+
+    // Reduce side: merge this key's contributions from every map task.
+    std::vector<std::vector<T>> out(reduce_tasks);
+    ctx.run_stage(label + ":reduce", reduce_tasks, [&](u32 r) {
+      std::unordered_map<K, V, Hash> acc;
+      for (u32 m = 0; m < map_tasks; ++m) {
+        for (auto& [k, v] : map_out[m][r]) {
+          work::add(1);
+          auto [it, inserted] = acc.try_emplace(std::move(k), std::move(v));
+          if (!inserted) it->second = combine(it->second, v);
+        }
+      }
+      auto& result = out[r];
+      result.reserve(acc.size());
+      for (auto& [k, v] : acc) {
+        result.emplace_back(std::move(const_cast<K&>(k)), std::move(v));
+      }
+    });
+
+    return ctx.from_partitions(std::move(out));
+  }
+
+  /// Shuffle + gather all values per key (Spark's groupByKey). No map-side
+  /// combining is possible, so the full value stream crosses the shuffle --
+  /// prefer reduce_by_key when the downstream only folds.
+  template <typename Hash = std::hash<typename detail::PairTraits<T>::key_type>>
+    requires detail::PairTraits<T>::is_pair
+  auto group_by_key(u32 out_partitions = 0, Hash hash = Hash{},
+                    const std::string& label = "groupByKey") const {
+    using K = typename detail::PairTraits<T>::key_type;
+    using V = typename detail::PairTraits<T>::mapped_type;
+    using Out = std::pair<K, std::vector<V>>;
+
+    Context& ctx = node_->ctx();
+    const u32 map_tasks = node_->num_partitions();
+    const u32 reduce_tasks =
+        out_partitions ? out_partitions : node_->num_partitions();
+
+    std::vector<std::vector<std::vector<T>>> map_out(map_tasks);
+    std::atomic<u64> shuffle_bytes{0};
+    ctx.run_stage_with_shuffle(
+        label + ":map", map_tasks,
+        [&](u32 pid) {
+          auto in = node_->get(pid);
+          auto& buckets = map_out[pid];
+          buckets.resize(reduce_tasks);
+          u64 bytes = 0;
+          for (const auto& kv : *in) {
+            work::add(1);
+            const u32 r = static_cast<u32>(hash(kv.first) % reduce_tasks);
+            bytes += byte_size(kv);
+            buckets[r].push_back(kv);
+          }
+          shuffle_bytes.fetch_add(bytes, std::memory_order_relaxed);
+        },
+        shuffle_bytes);
+
+    std::vector<std::vector<Out>> out(reduce_tasks);
+    ctx.run_stage(label + ":reduce", reduce_tasks, [&](u32 r) {
+      std::unordered_map<K, std::vector<V>, Hash> groups;
+      for (u32 m = 0; m < map_tasks; ++m) {
+        for (auto& [k, v] : map_out[m][r]) {
+          work::add(1);
+          groups[std::move(k)].push_back(std::move(v));
+        }
+      }
+      out[r].reserve(groups.size());
+      for (auto& [k, vs] : groups) {
+        out[r].emplace_back(std::move(const_cast<K&>(k)), std::move(vs));
+      }
+    });
+    return ctx.from_partitions(std::move(out));
+  }
+
+  /// Inner join with another pair RDD on the key (Spark's join).
+  template <typename W,
+            typename Hash = std::hash<typename detail::PairTraits<T>::key_type>>
+    requires detail::PairTraits<T>::is_pair
+  auto join(const RDD<std::pair<typename detail::PairTraits<T>::key_type, W>>&
+                other,
+            u32 out_partitions = 0, Hash hash = Hash{},
+            const std::string& label = "join") const {
+    using K = typename detail::PairTraits<T>::key_type;
+    using V = typename detail::PairTraits<T>::mapped_type;
+    using Out = std::pair<K, std::pair<V, W>>;
+
+    Context& ctx = node_->ctx();
+    YAFIM_CHECK(&ctx == &other.ctx(), "join across contexts");
+    const u32 reduce_tasks =
+        out_partitions ? out_partitions : node_->num_partitions();
+
+    // Hash-partition both sides.
+    auto partition_side = [&](auto node, const char* side) {
+      using E = typename decltype(node->get(0))::element_type::value_type;
+      const u32 tasks = node->num_partitions();
+      std::vector<std::vector<std::vector<E>>> buckets(tasks);
+      std::atomic<u64> bytes{0};
+      ctx.run_stage_with_shuffle(
+          label + ":" + side, tasks,
+          [&](u32 pid) {
+            auto in = node->get(pid);
+            auto& mine = buckets[pid];
+            mine.resize(reduce_tasks);
+            u64 b = 0;
+            for (const auto& kv : *in) {
+              work::add(1);
+              const u32 r = static_cast<u32>(hash(kv.first) % reduce_tasks);
+              b += byte_size(kv);
+              mine[r].push_back(kv);
+            }
+            bytes.fetch_add(b, std::memory_order_relaxed);
+          },
+          bytes);
+      return buckets;
+    };
+    auto left = partition_side(node_, "left");
+    auto right = partition_side(other.node(), "right");
+
+    std::vector<std::vector<Out>> out(reduce_tasks);
+    ctx.run_stage(label + ":reduce", reduce_tasks, [&](u32 r) {
+      std::unordered_map<K, std::vector<V>, Hash> left_by_key;
+      for (auto& task_buckets : left) {
+        for (auto& [k, v] : task_buckets[r]) {
+          work::add(1);
+          left_by_key[std::move(k)].push_back(std::move(v));
+        }
+      }
+      for (auto& task_buckets : right) {
+        for (auto& [k, w] : task_buckets[r]) {
+          work::add(1);
+          auto it = left_by_key.find(k);
+          if (it == left_by_key.end()) continue;
+          for (const V& v : it->second) {
+            out[r].emplace_back(k, std::make_pair(v, w));
+          }
+        }
+      }
+    });
+    return ctx.from_partitions(std::move(out));
+  }
+
+  /// Globally sort a pair RDD by key (Spark's sortByKey): sample keys on
+  /// the driver, range-partition, sort within partitions. The resulting
+  /// RDD's partitions are in ascending key ranges and each is sorted, so
+  /// collect() returns a fully key-sorted sequence.
+  template <typename Dummy = void>
+    requires detail::PairTraits<T>::is_pair
+  RDD<T> sort_by_key(u32 out_partitions = 0,
+                     const std::string& label = "sortByKey") const {
+    using K = typename detail::PairTraits<T>::key_type;
+
+    Context& ctx = node_->ctx();
+    const u32 map_tasks = node_->num_partitions();
+    const u32 reduce_tasks =
+        out_partitions ? out_partitions : node_->num_partitions();
+
+    // Driver-side splitter sampling (deterministic: every ~16th key).
+    std::vector<K> sample;
+    {
+      std::mutex mutex;
+      ctx.run_stage(label + ":sample", map_tasks, [&](u32 pid) {
+        auto in = node_->get(pid);
+        std::vector<K> local;
+        for (size_t i = 0; i < in->size(); i += 16) {
+          work::add(1);
+          local.push_back((*in)[i].first);
+        }
+        std::lock_guard<std::mutex> lock(mutex);
+        sample.insert(sample.end(), local.begin(), local.end());
+      });
+    }
+    std::sort(sample.begin(), sample.end());
+    std::vector<K> splitters;  // reduce_tasks - 1 boundaries
+    for (u32 s = 1; s < reduce_tasks; ++s) {
+      if (sample.empty()) break;
+      splitters.push_back(sample[sample.size() * s / reduce_tasks]);
+    }
+
+    auto range_of = [&](const K& k) -> u32 {
+      return static_cast<u32>(
+          std::upper_bound(splitters.begin(), splitters.end(), k) -
+          splitters.begin());
+    };
+
+    std::vector<std::vector<std::vector<T>>> map_out(map_tasks);
+    std::atomic<u64> shuffle_bytes{0};
+    ctx.run_stage_with_shuffle(
+        label + ":partition", map_tasks,
+        [&](u32 pid) {
+          auto in = node_->get(pid);
+          auto& buckets = map_out[pid];
+          buckets.resize(reduce_tasks);
+          u64 bytes = 0;
+          for (const auto& kv : *in) {
+            work::add(1);
+            bytes += byte_size(kv);
+            buckets[range_of(kv.first)].push_back(kv);
+          }
+          shuffle_bytes.fetch_add(bytes, std::memory_order_relaxed);
+        },
+        shuffle_bytes);
+
+    std::vector<std::vector<T>> out(reduce_tasks);
+    ctx.run_stage(label + ":sort", reduce_tasks, [&](u32 r) {
+      auto& mine = out[r];
+      for (u32 m = 0; m < map_tasks; ++m) {
+        work::add(map_out[m][r].size());
+        mine.insert(mine.end(),
+                    std::make_move_iterator(map_out[m][r].begin()),
+                    std::make_move_iterator(map_out[m][r].end()));
+      }
+      std::stable_sort(mine.begin(), mine.end(),
+                       [](const T& a, const T& b) {
+                         return a.first < b.first;
+                       });
+    });
+    return ctx.from_partitions(std::move(out));
+  }
+
+  /// Deduplicate elements (Spark's distinct). `Hash` must hash T.
+  template <typename Hash = std::hash<T>>
+  RDD<T> distinct(u32 out_partitions = 0, Hash hash = Hash{},
+                  const std::string& label = "distinct") const {
+    auto paired = map([](const T& x) { return std::pair<T, u8>(x, 1); });
+    auto deduped = paired.reduce_by_key([](u8 a, u8) { return a; },
+                                        out_partitions, hash, label);
+    return deduped.map([](const std::pair<T, u8>& kv) { return kv.first; });
+  }
+
+  /// Transform only the values of a pair RDD.
+  template <typename F>
+    requires detail::PairTraits<T>::is_pair
+  auto map_values(F f) const {
+    using K = typename detail::PairTraits<T>::key_type;
+    using V = typename detail::PairTraits<T>::mapped_type;
+    using W = std::decay_t<std::invoke_result_t<F, const V&>>;
+    return map([f = std::move(f)](const std::pair<K, V>& kv) {
+      return std::pair<K, W>(kv.first, f(kv.second));
+    });
+  }
+
+  template <typename H = std::hash<typename detail::PairTraits<T>::key_type>>
+    requires detail::PairTraits<T>::is_pair
+  auto keys() const {
+    using K = typename detail::PairTraits<T>::key_type;
+    using V = typename detail::PairTraits<T>::mapped_type;
+    return map([](const std::pair<K, V>& kv) { return kv.first; });
+  }
+
+  // --- actions (eager) -------------------------------------------------
+
+  std::vector<T> collect(const std::string& label = "collect") const {
+    Context& ctx = node_->ctx();
+    const u32 n = node_->num_partitions();
+    std::vector<typename detail::Node<T>::Part> parts(n);
+    ctx.run_stage(label, n, [&](u32 pid) { parts[pid] = node_->get(pid); });
+
+    size_t total = 0;
+    for (const auto& p : parts) total += p->size();
+    std::vector<T> out;
+    out.reserve(total);
+    for (const auto& p : parts) out.insert(out.end(), p->begin(), p->end());
+    return out;
+  }
+
+  u64 count(const std::string& label = "count") const {
+    Context& ctx = node_->ctx();
+    const u32 n = node_->num_partitions();
+    std::vector<u64> sizes(n, 0);
+    ctx.run_stage(label, n,
+                  [&](u32 pid) { sizes[pid] = node_->get(pid)->size(); });
+    u64 total = 0;
+    for (u64 s : sizes) total += s;
+    return total;
+  }
+
+  /// Fold all elements with an associative, commutative `f`. Aborts on an
+  /// empty RDD (mirrors Spark, which throws).
+  template <typename F>
+  T reduce(F f, const std::string& label = "reduce") const {
+    Context& ctx = node_->ctx();
+    const u32 n = node_->num_partitions();
+    std::vector<std::optional<T>> partials(n);
+    ctx.run_stage(label, n, [&](u32 pid) {
+      auto in = node_->get(pid);
+      if (in->empty()) return;
+      T acc = (*in)[0];
+      for (size_t i = 1; i < in->size(); ++i) {
+        work::add(1);
+        acc = f(acc, (*in)[i]);
+      }
+      partials[pid] = std::move(acc);
+    });
+
+    std::optional<T> result;
+    for (auto& p : partials) {
+      if (!p) continue;
+      result = result ? f(*result, *p) : std::move(*p);
+    }
+    YAFIM_CHECK(result.has_value(), "reduce() on an empty RDD");
+    return *result;
+  }
+
+  /// First n elements in partition order (Spark's take): computes
+  /// partitions one by one on the driver until enough elements are seen,
+  /// so early partitions short-circuit the rest of the lineage.
+  std::vector<T> take(size_t n, const std::string& label = "take") const {
+    Context& ctx = node_->ctx();
+    std::vector<T> out;
+    std::vector<sim::TaskRecord> tasks;
+    for (u32 pid = 0; pid < node_->num_partitions() && out.size() < n;
+         ++pid) {
+      work::Scope scope;
+      auto part = node_->get(pid);
+      tasks.push_back(sim::TaskRecord{scope.measured()});
+      for (const T& x : *part) {
+        if (out.size() == n) break;
+        out.push_back(x);
+      }
+    }
+    sim::StageRecord record;
+    record.label = label;
+    record.kind = sim::StageKind::kSparkStage;
+    record.pass = ctx.pass();
+    record.tasks = std::move(tasks);
+    ctx.record(std::move(record));
+    return out;
+  }
+
+  /// First element; aborts on an empty RDD (mirrors Spark's throw).
+  T first() const {
+    auto one = take(1, "first");
+    YAFIM_CHECK(!one.empty(), "first() on an empty RDD");
+    return std::move(one[0]);
+  }
+
+  /// Histogram of element multiplicities (Spark's countByValue).
+  template <typename Hash = std::hash<T>>
+  auto count_by_value(Hash hash = Hash{},
+                      const std::string& label = "countByValue") const {
+    auto counted =
+        map([](const T& x) { return std::pair<T, u64>(x, 1); })
+            .reduce_by_key([](u64 a, u64 b) { return a + b; }, 0, hash,
+                           label);
+    return counted.template collect_as_map<Hash>(label + ":collect");
+  }
+
+  /// Collect a pair RDD into a hash map (keys must be unique, e.g. after
+  /// reduce_by_key).
+  template <typename Hash = std::hash<typename detail::PairTraits<T>::key_type>>
+    requires detail::PairTraits<T>::is_pair
+  auto collect_as_map(const std::string& label = "collectAsMap") const {
+    using K = typename detail::PairTraits<T>::key_type;
+    using V = typename detail::PairTraits<T>::mapped_type;
+    std::unordered_map<K, V, Hash> out;
+    for (auto& [k, v] : collect(label)) {
+      auto [it, inserted] = out.emplace(std::move(k), std::move(v));
+      YAFIM_CHECK(inserted, "duplicate key in collect_as_map()");
+      (void)it;
+    }
+    return out;
+  }
+
+  std::shared_ptr<detail::Node<T>> node() const { return node_; }
+
+ private:
+  template <typename U>
+  friend class RDD;
+
+  std::shared_ptr<detail::Node<T>> node_;
+};
+
+// --- Context factory definitions (declared in engine/context.h) ---------
+
+inline RDD<std::string> Context::text_file(simfs::SimFS& fs,
+                                           const std::string& path,
+                                           u32 min_partitions) {
+  const std::vector<u8> raw = fs.read(path);
+  std::vector<std::string> lines;
+  size_t start = 0;
+  for (size_t i = 0; i <= raw.size(); ++i) {
+    if (i == raw.size() || raw[i] == '\n') {
+      if (i > start) {
+        lines.emplace_back(reinterpret_cast<const char*>(raw.data() + start),
+                           i - start);
+      }
+      start = i + 1;
+    }
+  }
+
+  const u32 nparts = min_partitions ? min_partitions : default_partitions();
+  sim::StageRecord load;
+  load.label = "textFile:" + path;
+  load.kind = sim::StageKind::kSparkStage;
+  load.pass = pass();
+  load.dfs_read_bytes = raw.size();
+  const u32 tasks = static_cast<u32>(std::max<size_t>(
+      1, std::min<size_t>(nparts, std::max<size_t>(1, lines.size()))));
+  load.tasks.assign(
+      tasks, sim::TaskRecord{lines.size() *
+                             (1 + cluster().record_parse_work) / tasks});
+  record(std::move(load));
+
+  return parallelize(std::move(lines), nparts);
+}
+
+template <typename T>
+RDD<T> Context::from_partitions(std::vector<std::vector<T>> parts) {
+  return RDD<T>(
+      std::make_shared<detail::MaterializedNode<T>>(*this, std::move(parts)));
+}
+
+template <typename T>
+RDD<T> Context::parallelize(std::vector<T> data, u32 nparts) {
+  if (nparts == 0) nparts = default_partitions();
+  const size_t n = data.size();
+  nparts = static_cast<u32>(
+      std::max<size_t>(1, std::min<size_t>(nparts, std::max<size_t>(1, n))));
+
+  std::vector<std::vector<T>> parts(nparts);
+  const size_t base = n / nparts;
+  const size_t extra = n % nparts;
+  size_t offset = 0;
+  for (u32 p = 0; p < nparts; ++p) {
+    const size_t len = base + (p < extra ? 1 : 0);
+    parts[p].assign(std::make_move_iterator(data.begin() + offset),
+                    std::make_move_iterator(data.begin() + offset + len));
+    offset += len;
+  }
+  return from_partitions(std::move(parts));
+}
+
+}  // namespace yafim::engine

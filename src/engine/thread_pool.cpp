@@ -1,0 +1,69 @@
+#include "engine/thread_pool.h"
+
+namespace yafim::engine {
+
+namespace {
+thread_local bool t_on_pool_thread = false;
+}  // namespace
+
+bool ThreadPool::on_pool_thread() { return t_on_pool_thread; }
+
+ThreadPool::ThreadPool(u32 threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (u32 i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    YAFIM_CHECK(!stopping_, "submit() after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::parallel_for(u32 n, const std::function<void(u32)>& f) {
+  YAFIM_CHECK(!on_pool_thread(),
+              "parallel_for() from a pool thread would deadlock");
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (u32 i = 0; i < n; ++i) {
+    futures.push_back(submit([&f, i] { f(i); }));
+  }
+  // get() rethrows the first failure after all tasks are accounted for.
+  for (auto& fut : futures) fut.get();
+}
+
+void ThreadPool::worker_loop() {
+  t_on_pool_thread = true;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions are captured into the packaged_task's future
+  }
+}
+
+}  // namespace yafim::engine

@@ -1,0 +1,53 @@
+// Fixed-size thread pool executing the engine's tasks on the host machine.
+//
+// Host parallelism (how many OS threads crunch the work) is deliberately
+// decoupled from *simulated* parallelism (how many cluster cores the cost
+// model schedules onto): results are identical either way, only wall-clock
+// differs.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/common.h"
+
+namespace yafim::engine {
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(u32 threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; the returned future rethrows any task exception.
+  std::future<void> submit(std::function<void()> fn);
+
+  /// Run f(0), ..., f(n-1) on the pool and wait for all of them.
+  /// Must not be called from a pool thread (would deadlock under load);
+  /// enforced with a CHECK.
+  void parallel_for(u32 n, const std::function<void(u32)>& f);
+
+  u32 size() const { return static_cast<u32>(workers_.size()); }
+
+  /// True when the calling thread is one of this pool's workers.
+  static bool on_pool_thread();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace yafim::engine

@@ -1,0 +1,41 @@
+// Per-task work accounting.
+//
+// While a task executes, the engine's operators (and user lambdas that want
+// finer accounting, e.g. the hash-tree probe loop) add abstract work units
+// to a thread-local counter. The stage scheduler snapshots the counter
+// around each task and feeds it to the cost model. Deterministic by
+// construction: the same input always produces the same counts.
+#pragma once
+
+#include "util/common.h"
+
+namespace yafim::engine::work {
+
+namespace detail {
+inline thread_local u64 t_work = 0;
+}
+
+/// Add `units` of work to the current task.
+inline void add(u64 units) { detail::t_work += units; }
+
+/// Reset the counter (called by the scheduler at task start).
+inline void reset() { detail::t_work = 0; }
+
+/// Current accumulated value.
+inline u64 current() { return detail::t_work; }
+
+/// RAII scope that isolates a task's counter from its surroundings.
+class Scope {
+ public:
+  Scope() : saved_(detail::t_work) { detail::t_work = 0; }
+  ~Scope() { detail::t_work = saved_; }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+  u64 measured() const { return detail::t_work; }
+
+ private:
+  u64 saved_;
+};
+
+}  // namespace yafim::engine::work

@@ -1,0 +1,65 @@
+#include "fim/apriori_seq.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "fim/candidate_gen.h"
+#include "fim/hash_tree.h"
+
+namespace yafim::fim {
+
+MiningRun apriori_mine(const TransactionDB& db,
+                       const AprioriOptions& options) {
+  const u64 min_count = db.min_support_count(options.min_support);
+  MiningRun run;
+  run.itemsets = FrequentItemsets(min_count, db.size());
+
+  // L1: one pass over D counting single items.
+  std::unordered_map<Item, u64> item_counts;
+  for (const Transaction& t : db.transactions()) {
+    for (Item i : t) ++item_counts[i];
+  }
+  std::vector<Itemset> frequent;
+  for (const auto& [item, count] : item_counts) {
+    if (count >= min_count) {
+      run.itemsets.add(Itemset{item}, count);
+      frequent.push_back(Itemset{item});
+    }
+  }
+  run.passes.push_back(
+      PassStats{1, item_counts.size(), frequent.size(), 0.0});
+
+  // Lk from L(k-1) until no candidates survive.
+  for (u32 k = 2; !frequent.empty(); ++k) {
+    std::vector<Itemset> candidates = apriori_gen(frequent, k);
+    if (candidates.empty()) break;
+
+    std::vector<u64> counts(candidates.size(), 0);
+    if (options.use_hash_tree) {
+      HashTree tree(candidates, options.branching, options.leaf_capacity);
+      HashTree::Probe probe;
+      for (const Transaction& t : db.transactions()) {
+        tree.for_each_contained(t, probe, [&](u32 ci) { ++counts[ci]; });
+      }
+    } else {
+      for (const Transaction& t : db.transactions()) {
+        for (size_t ci = 0; ci < candidates.size(); ++ci) {
+          if (contains_all(t, candidates[ci])) ++counts[ci];
+        }
+      }
+    }
+
+    frequent.clear();
+    for (size_t ci = 0; ci < candidates.size(); ++ci) {
+      if (counts[ci] >= min_count) {
+        run.itemsets.add(candidates[ci], counts[ci]);
+        frequent.push_back(candidates[ci]);
+      }
+    }
+    run.passes.push_back(
+        PassStats{k, candidates.size(), frequent.size(), 0.0});
+  }
+  return run;
+}
+
+}  // namespace yafim::fim

@@ -1,0 +1,28 @@
+// Sequential (single-node) Apriori: Algorithm 1 of the paper, and the
+// reference implementation every parallel miner is checked against. Also
+// the baseline for the paper's notion of speedup ("how much faster a
+// parallel algorithm is than a corresponding sequential algorithm").
+#pragma once
+
+#include "fim/dataset.h"
+#include "fim/result.h"
+
+namespace yafim::fim {
+
+struct AprioriOptions {
+  /// Relative minimum support threshold in (0, 1].
+  double min_support = 0.1;
+  /// Use the candidate hash tree for subset enumeration (the paper's
+  /// choice); false falls back to a linear candidate scan (ablation).
+  bool use_hash_tree = true;
+  /// Hash-tree tuning.
+  u32 branching = 0;  // 0 = auto (HashTree::default_branching)
+  u32 leaf_capacity = 16;
+};
+
+/// Mine all frequent itemsets of `db`. The returned MiningRun's PassStats
+/// carry candidate/frequent counts per level; sim_seconds is 0 (this miner
+/// runs outside the simulated cluster).
+MiningRun apriori_mine(const TransactionDB& db, const AprioriOptions& options);
+
+}  // namespace yafim::fim

@@ -1,0 +1,58 @@
+// BigFIM (Moens, Aksehirli & Goethals 2013): the hybrid the paper's
+// related work cites as "optimized to deal with truly Big Data".
+//
+// Dist-Eclat assumes the vertical database of frequent items fits on every
+// worker; BigFIM drops that assumption:
+//
+//   phase 1 -- breadth-first: the first `switch_level` Apriori levels run
+//     as MapReduce counting jobs (MRApriori), which never materialise
+//     tidlists;
+//   phase 2 -- depth-first: one final job. Mappers compute, per frequent
+//     `switch_level`-prefix, the *local* tidlists of its one-item
+//     extensions over their split; reducers merge each prefix's extension
+//     tidlists and mine the prefix's subtree with Eclat, entirely
+//     independently.
+//
+// Exact: every frequent itemset larger than switch_level has a unique
+// frequent length-switch_level prefix (its first items), whose reducer
+// emits it.
+#pragma once
+
+#include <string>
+
+#include "engine/context.h"
+#include "fim/dataset.h"
+#include "fim/result.h"
+#include "simfs/simfs.h"
+
+namespace yafim::fim {
+
+struct BigFimOptions {
+  double min_support = 0.1;
+  /// Apriori levels before switching to Eclat subtree mining (>= 1).
+  u32 switch_level = 2;
+  u32 num_mappers = 0;
+  u32 num_reducers = 0;
+  std::string work_dir = "hdfs://bigfim";
+};
+
+struct BigFimRun {
+  MiningRun run;
+  /// Prefixes handed to the depth-first phase.
+  u64 prefixes = 0;
+  /// Shuffle volume of the tidlist-building job (the cost Dist-Eclat's
+  /// broadcast avoids, and the price of not keeping tidlists in memory).
+  u64 tidlist_shuffle_bytes = 0;
+};
+
+/// Mine with BigFIM (always exact). `run.passes` covers the Apriori levels
+/// plus one final entry for the depth-first job.
+BigFimRun big_fim_mine(engine::Context& ctx, simfs::SimFS& fs,
+                       const std::string& input_path,
+                       const BigFimOptions& options);
+
+/// Convenience overload staging `db` onto `fs` first.
+BigFimRun big_fim_mine(engine::Context& ctx, simfs::SimFS& fs,
+                       const TransactionDB& db, const BigFimOptions& options);
+
+}  // namespace yafim::fim

@@ -1,0 +1,67 @@
+#include "fim/candidate_gen.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "engine/work.h"
+
+namespace yafim::fim {
+
+bool all_subsets_present(
+    const Itemset& candidate,
+    const std::unordered_map<Itemset, u64, ItemsetHash, ItemsetEq>& prev) {
+  // Drop each position in turn; the two trailing drops are exactly the two
+  // join parents, which are present by construction, but re-checking them
+  // is cheap and keeps this function usable standalone.
+  Itemset subset(candidate.size() - 1);
+  for (size_t skip = 0; skip < candidate.size(); ++skip) {
+    size_t w = 0;
+    for (size_t i = 0; i < candidate.size(); ++i) {
+      if (i != skip) subset[w++] = candidate[i];
+    }
+    engine::work::add(1);
+    if (!prev.count(subset)) return false;
+  }
+  return true;
+}
+
+std::vector<Itemset> apriori_gen(const std::vector<Itemset>& prev_frequent,
+                                 u32 k) {
+  YAFIM_CHECK(k >= 2, "apriori_gen starts at k = 2");
+  std::vector<Itemset> sorted = prev_frequent;
+  for (const Itemset& s : sorted) {
+    YAFIM_CHECK(s.size() == k - 1, "prev_frequent must be (k-1)-itemsets");
+  }
+  std::sort(sorted.begin(), sorted.end());
+
+  std::unordered_map<Itemset, u64, ItemsetHash, ItemsetEq> prev_set;
+  prev_set.reserve(sorted.size());
+  for (const Itemset& s : sorted) prev_set.emplace(s, 1);
+
+  std::vector<Itemset> candidates;
+  // Self-join: a and b share their first k-2 items and a < b lexic.; since
+  // `sorted` is lexicographic, the joinable partners of sorted[i] form a
+  // contiguous run starting at i+1.
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    for (size_t j = i + 1; j < sorted.size(); ++j) {
+      engine::work::add(1);
+      const Itemset& a = sorted[i];
+      const Itemset& b = sorted[j];
+      if (!std::equal(a.begin(), a.end() - 1, b.begin())) break;
+
+      Itemset candidate = a;
+      candidate.push_back(b.back());
+      YAFIM_DCHECK(is_canonical(candidate), "join produced non-canonical set");
+      if (k == 2 || all_subsets_present(candidate, prev_set)) {
+        candidates.push_back(std::move(candidate));
+      }
+    }
+  }
+  // The join over a sorted input emits candidates in lexicographic order
+  // already; assert instead of re-sorting.
+  YAFIM_DCHECK(std::is_sorted(candidates.begin(), candidates.end()),
+               "candidate output must be sorted");
+  return candidates;
+}
+
+}  // namespace yafim::fim

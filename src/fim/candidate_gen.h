@@ -1,0 +1,30 @@
+// Apriori candidate generation (the `ap_gen` of the paper's Algorithm 3):
+// the F(k-1) x F(k-1) self-join followed by the monotonicity prune.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "fim/itemset.h"
+
+namespace yafim::fim {
+
+/// Generate the size-k candidate set Ck from the frequent (k-1)-itemsets.
+///
+/// `prev_frequent` need not be sorted; the result is lexicographically
+/// sorted and duplicate-free. For k == 2 this is all pairs of frequent
+/// items. Every itemset in `prev_frequent` must have size k-1.
+///
+/// Join: two (k-1)-itemsets sharing their first k-2 items produce one
+/// k-candidate. Prune: a candidate survives only if all of its (k-1)-subsets
+/// are in `prev_frequent`.
+std::vector<Itemset> apriori_gen(const std::vector<Itemset>& prev_frequent,
+                                 u32 k);
+
+/// The prune step alone (exposed for tests and for the FPC/DPC variants,
+/// which prune against candidate sets rather than frequent sets).
+bool all_subsets_present(
+    const Itemset& candidate,
+    const std::unordered_map<Itemset, u64, ItemsetHash, ItemsetEq>& prev);
+
+}  // namespace yafim::fim

@@ -1,0 +1,60 @@
+#include "fim/condensed.h"
+
+namespace yafim::fim {
+
+namespace {
+
+/// Visit every (k-subset, k+1-superset) support pair: for each frequent
+/// (k+1)-itemset, call fn(subset_support_entry, superset_support) for each
+/// of its k-subsets that is frequent.
+template <typename Fn>
+void for_each_cover_edge(const FrequentItemsets& all, Fn&& fn) {
+  for (u32 k = 1; k < all.max_k(); ++k) {
+    for (const auto& [superset, superset_support] : all.level(k + 1)) {
+      Itemset subset(superset.size() - 1);
+      for (size_t skip = 0; skip < superset.size(); ++skip) {
+        size_t w = 0;
+        for (size_t i = 0; i < superset.size(); ++i) {
+          if (i != skip) subset[w++] = superset[i];
+        }
+        fn(subset, superset_support);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+FrequentItemsets closed_itemsets(const FrequentItemsets& all) {
+  // An itemset is closed unless some immediate frequent superset matches
+  // its support. (Checking immediate supersets suffices: supports are
+  // antitone, so a distant superset with equal support forces equality all
+  // the way down the chain.)
+  SupportMap not_closed;
+  for_each_cover_edge(all, [&](const Itemset& subset, u64 superset_support) {
+    if (all.support_of(subset) == superset_support) {
+      not_closed.emplace(subset, superset_support);
+    }
+  });
+
+  FrequentItemsets out(all.min_support_count(), all.num_transactions());
+  for (const auto& [itemset, support] : all.sorted()) {
+    if (!not_closed.count(itemset)) out.add(itemset, support);
+  }
+  return out;
+}
+
+FrequentItemsets maximal_itemsets(const FrequentItemsets& all) {
+  SupportMap has_frequent_superset;
+  for_each_cover_edge(all, [&](const Itemset& subset, u64 /*unused*/) {
+    has_frequent_superset.emplace(subset, 1);
+  });
+
+  FrequentItemsets out(all.min_support_count(), all.num_transactions());
+  for (const auto& [itemset, support] : all.sorted()) {
+    if (!has_frequent_superset.count(itemset)) out.add(itemset, support);
+  }
+  return out;
+}
+
+}  // namespace yafim::fim

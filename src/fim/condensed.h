@@ -1,0 +1,24 @@
+// Condensed representations of a frequent-itemset collection:
+//
+//   * closed  itemsets -- no proper superset has the same support; the
+//     lossless compression (all supports are recoverable);
+//   * maximal itemsets -- no proper superset is frequent; the positive
+//     border (lossy: membership recoverable, supports not).
+//
+// Standard post-processing for Apriori-family output (and the usual way
+// the medical/retail applications of §V-D present results -- a 2^11-deep
+// lattice is unreadable, its closed sets are not).
+#pragma once
+
+#include "fim/result.h"
+
+namespace yafim::fim {
+
+/// The closed subsets of `all` (which must be downward-closed, i.e. the
+/// output of a miner). Supports are preserved.
+FrequentItemsets closed_itemsets(const FrequentItemsets& all);
+
+/// The maximal subsets of `all`. Supports are preserved.
+FrequentItemsets maximal_itemsets(const FrequentItemsets& all);
+
+}  // namespace yafim::fim

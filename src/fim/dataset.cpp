@@ -1,0 +1,116 @@
+#include "fim/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/bytes.h"
+
+namespace yafim::fim {
+
+TransactionDB::TransactionDB(std::vector<Transaction> transactions)
+    : tx_(std::move(transactions)) {
+#ifndef NDEBUG
+  for (const Transaction& t : tx_) {
+    YAFIM_DCHECK(is_canonical(t), "transactions must be canonical");
+  }
+#endif
+}
+
+DatasetStats TransactionDB::stats() const {
+  DatasetStats s;
+  s.num_transactions = tx_.size();
+  std::unordered_set<Item> distinct;
+  u64 total_len = 0;
+  u32 universe = 0;
+  for (const Transaction& t : tx_) {
+    total_len += t.size();
+    s.max_length = std::max<double>(s.max_length, static_cast<double>(t.size()));
+    for (Item i : t) {
+      distinct.insert(i);
+      universe = std::max(universe, i + 1);
+    }
+  }
+  s.num_items = static_cast<u32>(distinct.size());
+  s.item_universe = universe;
+  if (!tx_.empty()) {
+    s.avg_length = static_cast<double>(total_len) /
+                   static_cast<double>(tx_.size());
+  }
+  if (s.num_items > 0) s.density = s.avg_length / s.num_items;
+  return s;
+}
+
+u64 TransactionDB::min_support_count(double min_support_frac) const {
+  YAFIM_CHECK(min_support_frac > 0.0 && min_support_frac <= 1.0,
+              "relative support must be in (0, 1]");
+  const double raw = min_support_frac * static_cast<double>(tx_.size());
+  u64 count = static_cast<u64>(std::ceil(raw - 1e-9));
+  return std::max<u64>(count, 1);
+}
+
+u64 TransactionDB::support(const Itemset& s) const {
+  u64 count = 0;
+  for (const Transaction& t : tx_) {
+    if (contains_all(t, s)) ++count;
+  }
+  return count;
+}
+
+TransactionDB TransactionDB::replicate(u32 times) const {
+  YAFIM_CHECK(times >= 1, "replicate() needs times >= 1");
+  std::vector<Transaction> out;
+  out.reserve(tx_.size() * times);
+  for (u32 r = 0; r < times; ++r) {
+    out.insert(out.end(), tx_.begin(), tx_.end());
+  }
+  return TransactionDB(std::move(out));
+}
+
+std::vector<u8> TransactionDB::serialize() const {
+  ByteWriter w;
+  w.write_u64(tx_.size());
+  for (const Transaction& t : tx_) w.write_u32_vec(t);
+  return w.take();
+}
+
+TransactionDB TransactionDB::deserialize(std::span<const u8> bytes) {
+  ByteReader r(bytes);
+  const u64 n = r.read_u64();
+  std::vector<Transaction> tx;
+  tx.reserve(n);
+  for (u64 i = 0; i < n; ++i) tx.push_back(r.read_u32_vec());
+  YAFIM_CHECK(r.done(), "trailing bytes after TransactionDB payload");
+  return TransactionDB(std::move(tx));
+}
+
+std::string TransactionDB::to_text() const {
+  std::ostringstream out;
+  for (const Transaction& t : tx_) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i) out << ' ';
+      out << t[i];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+TransactionDB TransactionDB::from_text(const std::string& text) {
+  std::vector<Transaction> tx;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    Transaction t;
+    std::istringstream fields(line);
+    u64 item;
+    while (fields >> item) t.push_back(static_cast<Item>(item));
+    canonicalize(t);
+    tx.push_back(std::move(t));
+  }
+  return TransactionDB(std::move(tx));
+}
+
+}  // namespace yafim::fim

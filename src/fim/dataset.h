@@ -1,0 +1,69 @@
+// TransactionDB: an in-memory transactional database D plus the
+// serialization used to store it on the simulated HDFS (binary) and to
+// exchange it with humans and other tools (the classic space-separated text
+// format of the FIMI repository datasets).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fim/itemset.h"
+#include "util/common.h"
+
+namespace yafim::fim {
+
+struct DatasetStats {
+  u64 num_transactions = 0;
+  /// Number of distinct items actually present.
+  u32 num_items = 0;
+  /// Largest item id + 1 (the nominal universe size).
+  u32 item_universe = 0;
+  double avg_length = 0.0;
+  double max_length = 0.0;
+  /// avg_length / num_items: how dense a bitmap view would be.
+  double density = 0.0;
+};
+
+class TransactionDB {
+ public:
+  TransactionDB() = default;
+
+  /// Takes ownership of `transactions`; every transaction must already be
+  /// canonical (sorted, unique) -- generators and parsers guarantee this,
+  /// and it is CHECKed in debug builds.
+  explicit TransactionDB(std::vector<Transaction> transactions);
+
+  const std::vector<Transaction>& transactions() const { return tx_; }
+
+  /// Move the transactions out (leaves the DB empty).
+  std::vector<Transaction> release() { return std::move(tx_); }
+  u64 size() const { return tx_.size(); }
+  bool empty() const { return tx_.empty(); }
+
+  DatasetStats stats() const;
+
+  /// Absolute support count for a relative threshold, as ceil(frac * |D|)
+  /// (an itemset is frequent iff sup >= this).
+  u64 min_support_count(double min_support_frac) const;
+
+  /// Exact support of one itemset by a full scan (test oracle; O(|D|)).
+  u64 support(const Itemset& s) const;
+
+  /// The "sizeup" transform from the paper's Fig. 4: the database
+  /// replicated `times` times. Relative supports are unchanged.
+  TransactionDB replicate(u32 times) const;
+
+  // --- binary serialization (SimFS payloads) ---------------------------
+  std::vector<u8> serialize() const;
+  static TransactionDB deserialize(std::span<const u8> bytes);
+
+  // --- text interop (one transaction per line, items space-separated) --
+  std::string to_text() const;
+  static TransactionDB from_text(const std::string& text);
+
+ private:
+  std::vector<Transaction> tx_;
+};
+
+}  // namespace yafim::fim

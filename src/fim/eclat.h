@@ -1,0 +1,16 @@
+// Eclat (Zaki 2000): depth-first frequent-itemset mining over the vertical
+// layout (per-item tid lists intersected along the prefix tree). Cited by
+// the paper via Dist-Eclat/BigFIM; here it is the second independent
+// cross-check oracle.
+#pragma once
+
+#include "fim/dataset.h"
+#include "fim/result.h"
+
+namespace yafim::fim {
+
+/// Mine all frequent itemsets of `db` at relative support `min_support`.
+/// Produces exactly the same FrequentItemsets as apriori_mine().
+MiningRun eclat_mine(const TransactionDB& db, double min_support);
+
+}  // namespace yafim::fim

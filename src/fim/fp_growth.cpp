@@ -1,0 +1,63 @@
+#include "fim/fp_growth.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "fim/fp_tree.h"
+
+namespace yafim::fim {
+
+MiningRun fp_growth_mine(const TransactionDB& db, double min_support) {
+  const u64 min_count = db.min_support_count(min_support);
+  MiningRun run;
+  run.itemsets = FrequentItemsets(min_count, db.size());
+
+  // Frequent items, ranked by (count desc, item asc) for determinism.
+  std::unordered_map<Item, u64> counts;
+  for (const Transaction& t : db.transactions()) {
+    for (Item i : t) ++counts[i];
+  }
+  std::vector<std::pair<Item, u64>> frequent;
+  for (const auto& [item, count] : counts) {
+    if (count >= min_count) frequent.emplace_back(item, count);
+  }
+  std::sort(frequent.begin(), frequent.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+
+  std::unordered_map<Item, u32> item_to_rank;
+  std::vector<Item> rank_to_item(frequent.size());
+  for (u32 r = 0; r < frequent.size(); ++r) {
+    item_to_rank.emplace(frequent[r].first, r);
+    rank_to_item[r] = frequent[r].first;
+  }
+
+  FpTree tree(static_cast<u32>(frequent.size()));
+  for (const Transaction& t : db.transactions()) {
+    std::vector<u32> ranks;
+    ranks.reserve(t.size());
+    for (Item i : t) {
+      auto it = item_to_rank.find(i);
+      if (it != item_to_rank.end()) ranks.push_back(it->second);
+    }
+    std::sort(ranks.begin(), ranks.end());
+    if (!ranks.empty()) tree.insert(ranks, 1);
+  }
+
+  mine_fp_tree(tree, min_count, rank_to_item, /*root_filter=*/nullptr,
+               [&run](const Itemset& itemset, u64 support) {
+                 run.itemsets.add(itemset, support);
+               });
+
+  // FP-Growth has no per-level passes; synthesise PassStats from the
+  // result so reports are comparable.
+  for (u32 k = 1; k <= run.itemsets.max_k(); ++k) {
+    run.passes.push_back(
+        PassStats{k, run.itemsets.level(k).size(),
+                  run.itemsets.level(k).size(), 0.0});
+  }
+  return run;
+}
+
+}  // namespace yafim::fim

@@ -1,0 +1,17 @@
+// FP-Growth (Han, Pei & Yin 2000): frequent-pattern mining without
+// candidate generation. The paper cites it as the main single-node
+// alternative to Apriori; here it serves as an independent cross-check
+// oracle for the Apriori-family miners and as a subject for the comparison
+// examples.
+#pragma once
+
+#include "fim/dataset.h"
+#include "fim/result.h"
+
+namespace yafim::fim {
+
+/// Mine all frequent itemsets of `db` at relative support `min_support`.
+/// Produces exactly the same FrequentItemsets as apriori_mine().
+MiningRun fp_growth_mine(const TransactionDB& db, double min_support);
+
+}  // namespace yafim::fim

@@ -1,0 +1,71 @@
+#include "fim/fp_tree.h"
+
+namespace yafim::fim {
+
+namespace {
+
+struct Miner {
+  u64 min_count;
+  const std::vector<Item>* rank_to_item;
+  const std::function<void(const Itemset&, u64)>* emit;
+
+  void mine(const FpTree& tree, std::vector<Item>& suffix,
+            const std::function<bool(u32)>& root_filter) {
+    // Process ranks bottom-up (least-frequent first), the classic order.
+    for (u32 rank = tree.num_ranks(); rank-- > 0;) {
+      if (suffix.empty() && root_filter && !root_filter(rank)) continue;
+      const u64 support = tree.rank_count(rank);
+      if (support < min_count) continue;
+      engine::work::add(1);
+
+      suffix.push_back((*rank_to_item)[rank]);
+      Itemset found = suffix;
+      canonicalize(found);
+      (*emit)(found, support);
+
+      // Conditional pattern base: prefix paths of every node of `rank`.
+      FpTree conditional(rank);
+      std::vector<u64> prefix_support(rank, 0);
+      std::vector<std::pair<std::vector<u32>, u64>> paths;
+      for (u32 n = tree.header(rank); n != FpTree::kNullNode;
+           n = tree.node(n).next_same_item) {
+        const u64 count = tree.node(n).count;
+        std::vector<u32> path;
+        for (u32 p = tree.node(n).parent; p != FpTree::kNullNode && p != 0;
+             p = tree.node(p).parent) {
+          engine::work::add(1);
+          path.push_back(tree.node(p).rank);
+          prefix_support[tree.node(p).rank] += count;
+        }
+        std::reverse(path.begin(), path.end());
+        if (!path.empty()) paths.emplace_back(std::move(path), count);
+      }
+      // Drop ranks that are infrequent within the conditional base before
+      // inserting (keeps conditional trees small).
+      for (auto& [path, count] : paths) {
+        std::vector<u32> kept;
+        kept.reserve(path.size());
+        for (u32 r : path) {
+          if (prefix_support[r] >= min_count) kept.push_back(r);
+        }
+        if (!kept.empty()) conditional.insert(kept, count);
+      }
+      static const std::function<bool(u32)> kNoFilter;
+      mine(conditional, suffix, kNoFilter);
+      suffix.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+void mine_fp_tree(const FpTree& tree, u64 min_count,
+                  const std::vector<Item>& rank_to_item,
+                  const std::function<bool(u32)>& root_filter,
+                  const std::function<void(const Itemset&, u64)>& emit) {
+  Miner miner{min_count, &rank_to_item, &emit};
+  std::vector<Item> suffix;
+  miner.mine(tree, suffix, root_filter);
+}
+
+}  // namespace yafim::fim

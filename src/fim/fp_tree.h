@@ -1,0 +1,91 @@
+// FP-tree internals shared by the single-node FP-Growth miner and the
+// distributed PFP miner (Li et al. 2008 -- the algorithm behind Spark
+// MLlib's FPGrowth).
+//
+// Items are stored by *rank* (0 = most frequent): sibling maps stay small,
+// paths are naturally ordered, and PFP's group partitioning is defined
+// directly over ranks.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/work.h"
+#include "fim/itemset.h"
+
+namespace yafim::fim {
+
+/// FP-tree over (rank, count) paths.
+class FpTree {
+ public:
+  static constexpr u32 kNullNode = 0xffffffffu;
+
+  explicit FpTree(u32 num_ranks) : headers_(num_ranks, kNullNode) {
+    nodes_.push_back(Node{});  // root
+  }
+
+  struct Node {
+    u32 rank = 0;
+    u64 count = 0;
+    u32 parent = kNullNode;
+    u32 next_same_item = kNullNode;  // header chain
+    std::unordered_map<u32, u32> children;  // rank -> node index
+  };
+
+  /// Insert a rank-sorted (ascending) path with multiplicity `count`.
+  void insert(const std::vector<u32>& ranks, u64 count) {
+    engine::work::add(ranks.size());
+    u32 current = 0;
+    for (u32 rank : ranks) {
+      auto it = nodes_[current].children.find(rank);
+      u32 child;
+      if (it == nodes_[current].children.end()) {
+        child = static_cast<u32>(nodes_.size());
+        Node node;
+        node.rank = rank;
+        node.parent = current;
+        node.next_same_item = headers_[rank];
+        nodes_.push_back(std::move(node));
+        headers_[rank] = child;
+        nodes_[current].children.emplace(rank, child);
+      } else {
+        child = it->second;
+      }
+      nodes_[child].count += count;
+      current = child;
+    }
+  }
+
+  const Node& node(u32 idx) const { return nodes_[idx]; }
+  u32 header(u32 rank) const { return headers_[rank]; }
+  u32 num_ranks() const { return static_cast<u32>(headers_.size()); }
+  u32 num_nodes() const { return static_cast<u32>(nodes_.size()); }
+
+  /// Total count of all nodes of `rank` (the support of that item within
+  /// this conditional tree).
+  u64 rank_count(u32 rank) const {
+    u64 total = 0;
+    for (u32 n = headers_[rank]; n != kNullNode; n = nodes_[n].next_same_item) {
+      total += nodes_[n].count;
+    }
+    return total;
+  }
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<u32> headers_;
+};
+
+/// Recursively mine `tree`, emitting (itemset, support) for every frequent
+/// itemset via `emit`. `rank_to_item` maps tree ranks back to item ids.
+/// `root_filter`, if set, restricts the *bottom* (least frequent) item of
+/// emitted itemsets to the ranks it accepts -- PFP's group ownership rule;
+/// it is only consulted at recursion depth 0.
+void mine_fp_tree(
+    const FpTree& tree, u64 min_count, const std::vector<Item>& rank_to_item,
+    const std::function<bool(u32)>& root_filter,
+    const std::function<void(const Itemset&, u64)>& emit);
+
+}  // namespace yafim::fim

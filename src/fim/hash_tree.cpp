@@ -1,0 +1,108 @@
+#include "fim/hash_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "engine/bytes_of.h"
+
+namespace yafim::fim {
+
+u32 HashTree::default_branching(u64 num_candidates, u32 k) {
+  if (num_candidates == 0 || k == 0) return 8;
+  const double per_level =
+      std::pow(static_cast<double>(num_candidates), 1.0 / k);
+  const double fanout = std::ceil(2.0 * per_level);
+  return static_cast<u32>(std::clamp(fanout, 8.0, 1024.0));
+}
+
+HashTree::HashTree(std::vector<Itemset> candidates, u32 branching,
+                   u32 leaf_capacity)
+    : candidates_(std::move(candidates)),
+      branching_(branching),
+      leaf_capacity_(leaf_capacity) {
+  if (branching_ == 0) {
+    const u32 k = candidates_.empty()
+                      ? 1
+                      : static_cast<u32>(candidates_.front().size());
+    branching_ = default_branching(candidates_.size(), k);
+  }
+  YAFIM_CHECK(branching_ >= 2, "branching must be >= 2");
+  YAFIM_CHECK(leaf_capacity_ >= 1, "leaf capacity must be >= 1");
+  if (!candidates_.empty()) {
+    k_ = static_cast<u32>(candidates_.front().size());
+    YAFIM_CHECK(k_ >= 1, "candidates must be non-empty itemsets");
+    for (const Itemset& c : candidates_) {
+      YAFIM_CHECK(c.size() == k_, "all candidates must have equal size");
+      YAFIM_DCHECK(is_canonical(c), "candidates must be canonical");
+    }
+  }
+
+  nodes_.emplace_back();  // root starts as an empty leaf
+  for (u32 i = 0; i < candidates_.size(); ++i) insert(i, 0);
+  assign_leaf_ids();
+}
+
+void HashTree::insert(u32 candidate_id, u32 /*depth_hint*/) {
+  u32 node_idx = kRoot;
+  u32 depth = 0;
+  // Descend through interior nodes along the candidate's own items.
+  while (!nodes_[node_idx].leaf) {
+    const Item item = candidates_[candidate_id][depth];
+    const u32 slot = child_slot(item);
+    u32 child = nodes_[node_idx].children[slot];
+    if (child == kNone) {
+      child = static_cast<u32>(nodes_.size());
+      nodes_.emplace_back();  // new empty leaf (may invalidate references)
+      nodes_[node_idx].children[slot] = child;
+    }
+    node_idx = child;
+    ++depth;
+  }
+  nodes_[node_idx].bucket.push_back(candidate_id);
+  if (nodes_[node_idx].bucket.size() > leaf_capacity_ && depth < k_) {
+    split(node_idx, depth);
+  }
+}
+
+void HashTree::split(u32 node_idx, u32 depth) {
+  std::vector<u32> bucket = std::move(nodes_[node_idx].bucket);
+  nodes_[node_idx].bucket.clear();
+  nodes_[node_idx].leaf = false;
+  nodes_[node_idx].children.assign(branching_, kNone);
+
+  for (u32 candidate_id : bucket) {
+    const Item item = candidates_[candidate_id][depth];
+    const u32 slot = child_slot(item);
+    u32 child = nodes_[node_idx].children[slot];
+    if (child == kNone) {
+      child = static_cast<u32>(nodes_.size());
+      nodes_.emplace_back();
+      nodes_[node_idx].children[slot] = child;
+    }
+    nodes_[child].bucket.push_back(candidate_id);
+    // A just-split child can itself overflow when many candidates share a
+    // hash path; recurse (bounded by depth < k).
+    if (nodes_[child].bucket.size() > leaf_capacity_ && depth + 1 < k_) {
+      split(child, depth + 1);
+    }
+  }
+}
+
+void HashTree::assign_leaf_ids() {
+  num_leaves_ = 0;
+  for (Node& node : nodes_) {
+    if (node.leaf) node.leaf_id = num_leaves_++;
+  }
+}
+
+u64 HashTree::serialized_bytes() const {
+  u64 bytes = 16;  // header: k, sizes
+  for (const Itemset& c : candidates_) bytes += engine::byte_size(c);
+  for (const Node& node : nodes_) {
+    bytes += 8 + node.bucket.size() * sizeof(u32) +
+             node.children.size() * sizeof(u32);
+  }
+  return bytes;
+}
+
+}  // namespace yafim::fim

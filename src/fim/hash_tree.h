@@ -1,0 +1,125 @@
+// The candidate hash tree of Agrawal & Srikant's Apriori, which the paper
+// builds over Ck and broadcasts to all workers each iteration to speed up
+// subset(Ck, t) (Fig. 2, Algorithm 3).
+//
+// Interior nodes at depth d hash a transaction item (item % branching) to a
+// child; leaves hold buckets of candidate ids. Enumerating the candidates
+// contained in a transaction walks every path the transaction's items can
+// take and containment-checks the reached leaves, visiting each leaf at most
+// once per transaction (stamp-based dedup in Probe).
+#pragma once
+
+#include <vector>
+
+#include "engine/work.h"
+#include "fim/itemset.h"
+
+namespace yafim::fim {
+
+class HashTree {
+ public:
+  /// All candidates must be canonical and of equal size k >= 1.
+  /// `branching` is the interior fan-out (0 = auto-size from the candidate
+  /// count, see default_branching()); `leaf_capacity` the bucket size that
+  /// triggers a split (leaves at depth k never split).
+  explicit HashTree(std::vector<Itemset> candidates, u32 branching = 0,
+                    u32 leaf_capacity = 16);
+
+  /// Fan-out that keeps depth-k leaves near leaf-capacity occupancy:
+  /// roughly 2 * n^(1/k), clamped to [8, 1024]. With a fixed small fan-out
+  /// a large C2 degenerates to huge leaves that every probe has to scan.
+  static u32 default_branching(u64 num_candidates, u32 k);
+
+  u32 k() const { return k_; }
+  u32 size() const { return static_cast<u32>(candidates_.size()); }
+  u32 num_leaves() const { return num_leaves_; }
+  u32 num_nodes() const { return static_cast<u32>(nodes_.size()); }
+
+  const Itemset& candidate(u32 idx) const { return candidates_[idx]; }
+  const std::vector<Itemset>& candidates() const { return candidates_; }
+
+  /// Estimated wire size when broadcast to workers (candidate payload plus
+  /// node structure).
+  u64 serialized_bytes() const;
+
+  /// Per-thread scratch for containment enumeration. Reusable across
+  /// probes and across trees; never share one Probe between threads.
+  struct Probe {
+    std::vector<u64> leaf_stamp;
+    u64 counter = 0;
+  };
+
+  /// Invoke fn(candidate_id) once for every candidate contained in `t`.
+  /// Adds engine work units for every node visit and candidate check, so
+  /// stage task costs reflect real probe effort.
+  template <typename Fn>
+  void for_each_contained(const Transaction& t, Probe& probe, Fn&& fn) const {
+    if (candidates_.empty() || t.size() < k_) return;
+    ++probe.counter;
+    if (probe.leaf_stamp.size() < num_leaves_) {
+      probe.leaf_stamp.resize(num_leaves_, 0);
+    }
+    walk(kRoot, t, 0, 0, probe, fn);
+  }
+
+  /// Reference containment enumeration without the tree (linear scan over
+  /// all candidates); the property tests check the tree against this.
+  template <typename Fn>
+  void for_each_contained_linear(const Transaction& t, Fn&& fn) const {
+    for (u32 i = 0; i < candidates_.size(); ++i) {
+      engine::work::add(1);
+      if (contains_all(t, candidates_[i])) fn(i);
+    }
+  }
+
+ private:
+  static constexpr u32 kNone = 0xffffffffu;
+  static constexpr u32 kRoot = 0;
+
+  struct Node {
+    bool leaf = true;
+    /// Dense leaf numbering used by Probe stamps (leaves only).
+    u32 leaf_id = 0;
+    /// Candidate ids (leaves only).
+    std::vector<u32> bucket;
+    /// Child node indices, `branching` entries (interior only).
+    std::vector<u32> children;
+  };
+
+  u32 child_slot(Item item) const { return item % branching_; }
+  void insert(u32 candidate_id, u32 depth_hint);
+  void split(u32 node_idx, u32 depth);
+  void assign_leaf_ids();
+
+  template <typename Fn>
+  void walk(u32 node_idx, const Transaction& t, size_t pos, u32 depth,
+            Probe& probe, Fn& fn) const {
+    const Node& node = nodes_[node_idx];
+    engine::work::add(1);
+    if (node.leaf) {
+      if (probe.leaf_stamp[node.leaf_id] == probe.counter) return;
+      probe.leaf_stamp[node.leaf_id] = probe.counter;
+      for (u32 ci : node.bucket) {
+        engine::work::add(1);
+        if (contains_all(t, candidates_[ci])) fn(ci);
+      }
+      return;
+    }
+    // Choose the next transaction item; keep enough items in reserve to
+    // complete a k-path (candidates have exactly k items).
+    const size_t remaining_needed = k_ - depth;
+    for (size_t i = pos; i + remaining_needed <= t.size(); ++i) {
+      const u32 child = node.children[child_slot(t[i])];
+      if (child != kNone) walk(child, t, i + 1, depth + 1, probe, fn);
+    }
+  }
+
+  std::vector<Itemset> candidates_;
+  u32 k_ = 0;
+  u32 branching_ = 8;
+  u32 leaf_capacity_ = 16;
+  u32 num_leaves_ = 0;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace yafim::fim

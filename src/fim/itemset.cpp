@@ -1,0 +1,56 @@
+#include "fim/itemset.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace yafim::fim {
+
+bool is_canonical(const Itemset& v) {
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (v[i - 1] >= v[i]) return false;
+  }
+  return true;
+}
+
+void canonicalize(Itemset& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+bool contains_all(const Transaction& t, const Itemset& s) {
+  YAFIM_DCHECK(is_canonical(t) && is_canonical(s), "inputs must be canonical");
+  size_t ti = 0;
+  for (Item needle : s) {
+    while (ti < t.size() && t[ti] < needle) ++ti;
+    if (ti == t.size() || t[ti] != needle) return false;
+    ++ti;
+  }
+  return true;
+}
+
+bool lex_less(const Itemset& a, const Itemset& b) { return a < b; }
+
+std::string to_string(const Itemset& s) {
+  std::ostringstream out;
+  out << '{';
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i) out << ", ";
+    out << s[i];
+  }
+  out << '}';
+  return out.str();
+}
+
+size_t ItemsetHash::operator()(const Itemset& s) const {
+  // FNV-style fold of each item through a strong 64-bit mixer; stable
+  // across platforms and runs (required by the shuffle partitioner).
+  u64 h = 0xcbf29ce484222325ULL ^ s.size();
+  for (Item item : s) {
+    h = mix64(h ^ item);
+  }
+  return static_cast<size_t>(h);
+}
+
+}  // namespace yafim::fim

@@ -1,0 +1,171 @@
+#include "fim/mr_apriori.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "fim/candidate_gen.h"
+#include "fim/hash_tree.h"
+#include "fim/mr_encode.h"
+#include "mapreduce/job.h"
+
+namespace yafim::fim {
+
+namespace {
+
+using CountPair = std::pair<Itemset, u64>;
+using Spec = mr::JobSpec<Transaction, Itemset, u64, CountPair, ItemsetHash>;
+
+std::vector<Transaction> decode_transactions(const std::vector<u8>& bytes) {
+  return TransactionDB::deserialize(bytes).release();
+}
+
+/// Shared by yafim.cpp's twin; duplicated locally to keep layering flat.
+void price_passes(engine::Context& ctx, size_t first_stage, MiningRun& run) {
+  sim::SimReport slice;
+  const auto& stages = ctx.report().stages();
+  for (size_t i = first_stage; i < stages.size(); ++i) slice.add(stages[i]);
+  const std::vector<double> by_pass = slice.pass_seconds(ctx.cost_model());
+  run.setup_seconds = by_pass.empty() ? 0.0 : by_pass[0];
+  for (PassStats& pass : run.passes) {
+    pass.sim_seconds = pass.k < by_pass.size() ? by_pass[pass.k] : 0.0;
+  }
+}
+
+}  // namespace
+
+MiningRun mr_apriori_mine(engine::Context& ctx, simfs::SimFS& fs,
+                          const std::string& input_path,
+                          const MrAprioriOptions& options) {
+  const size_t first_stage = ctx.report().stages().size();
+  mr::JobRunner runner(ctx, fs);
+
+  // Driver-side setup knowledge: |D| for the absolute threshold. (In
+  // PApriori the driver knows the dataset size a priori; not charged.)
+  const u64 num_transactions =
+      TransactionDB::deserialize(fs.read(input_path)).size();
+  MiningRun run;
+  if (num_transactions == 0) {
+    run.itemsets = FrequentItemsets(1, 0);
+    return run;
+  }
+  // Same threshold arithmetic as TransactionDB::min_support_count().
+  const u64 min_count = static_cast<u64>(std::max<double>(
+      1.0, std::ceil(options.min_support *
+                         static_cast<double>(num_transactions) -
+                     1e-9)));
+  run.itemsets = FrequentItemsets(min_count, num_transactions);
+
+  auto make_reduce = [min_count](const Itemset& key, std::vector<u64>& values)
+      -> std::optional<CountPair> {
+    u64 sum = 0;
+    for (u64 v : values) sum += v;
+    if (sum < min_count) return std::nullopt;
+    return CountPair(key, sum);
+  };
+
+  // ---- Job 1: frequent items ------------------------------------------
+  ctx.set_pass(1);
+  Spec job1;
+  job1.name = "mrapriori:job1";
+  job1.decode_input = decode_transactions;
+  job1.map_fn = [](const Transaction& t, mr::Emitter<Itemset, u64>& emit) {
+    for (Item i : t) emit.emit(Itemset{i}, 1);
+  };
+  job1.combine_fn = [](const u64& a, const u64& b) { return a + b; };
+  job1.reduce_fn = make_reduce;
+  job1.encode_output = encode_counts;
+  job1.num_mappers = options.num_mappers;
+  job1.num_reducers = options.num_reducers;
+
+  auto result = runner.run(job1, input_path, options.work_dir + "/L1");
+  std::vector<Itemset> frequent;
+  frequent.reserve(result.output.size());
+  for (const auto& [itemset, support] : result.output) {
+    run.itemsets.add(itemset, support);
+    frequent.push_back(itemset);
+  }
+  run.passes.push_back(
+      PassStats{1, result.output.size(), result.output.size(), 0.0});
+  u64 prev_output_bytes = result.output_bytes;
+
+  // ---- Jobs k >= 2 ------------------------------------------------------
+  for (u32 k = 2;
+       !frequent.empty() && (options.max_levels == 0 || k <= options.max_levels);
+       ++k) {
+    ctx.set_pass(k);
+
+    // The driver reads L(k-1) back from HDFS to generate candidates.
+    {
+      sim::StageRecord read_back;
+      read_back.label = "mrapriori:driver read L" + std::to_string(k - 1);
+      read_back.kind = sim::StageKind::kOverhead;
+      read_back.pass = k;
+      read_back.dfs_read_bytes = prev_output_bytes;
+      ctx.record(std::move(read_back));
+    }
+
+    engine::work::Scope driver_scope;
+    std::vector<Itemset> candidates = apriori_gen(frequent, k);
+    if (candidates.empty()) break;
+    auto tree = std::make_shared<const HashTree>(
+        std::move(candidates), options.branching, options.leaf_capacity);
+    {
+      sim::StageRecord gen;
+      gen.label = "mrapriori:ap_gen L" + std::to_string(k);
+      gen.kind = sim::StageKind::kOverhead;
+      gen.pass = k;
+      gen.driver_work = driver_scope.measured();
+      ctx.record(std::move(gen));
+    }
+
+    Spec job;
+    job.name = "mrapriori:job" + std::to_string(k);
+    job.decode_input = decode_transactions;
+    const bool use_hash_tree = options.use_hash_tree;
+    job.map_fn = [tree, use_hash_tree](const Transaction& t,
+                                       mr::Emitter<Itemset, u64>& emit) {
+      auto on_hit = [&](u32 ci) { emit.emit(tree->candidate(ci), 1); };
+      if (use_hash_tree) {
+        static thread_local HashTree::Probe probe;
+        tree->for_each_contained(t, probe, on_hit);
+      } else {
+        tree->for_each_contained_linear(t, on_hit);
+      }
+    };
+    job.combine_fn = [](const u64& a, const u64& b) { return a + b; };
+    job.reduce_fn = make_reduce;
+    job.encode_output = encode_counts;
+    job.num_mappers = options.num_mappers;
+    job.num_reducers = options.num_reducers;
+    // Candidate hash tree travels to every node via the distributed cache.
+    job.distributed_cache_bytes = tree->serialized_bytes();
+
+    const u64 num_candidates = tree->size();
+    result = runner.run(job, input_path,
+                        options.work_dir + "/L" + std::to_string(k));
+    frequent.clear();
+    frequent.reserve(result.output.size());
+    for (const auto& [itemset, support] : result.output) {
+      run.itemsets.add(itemset, support);
+      frequent.push_back(itemset);
+    }
+    run.passes.push_back(
+        PassStats{k, num_candidates, result.output.size(), 0.0});
+    prev_output_bytes = result.output_bytes;
+  }
+
+  ctx.set_pass(0);
+  price_passes(ctx, first_stage, run);
+  return run;
+}
+
+MiningRun mr_apriori_mine(engine::Context& ctx, simfs::SimFS& fs,
+                          const TransactionDB& db,
+                          const MrAprioriOptions& options) {
+  const std::string path = "hdfs://staging/mrapriori-input";
+  fs.write(path, db.serialize());
+  return mr_apriori_mine(ctx, fs, path, options);
+}
+
+}  // namespace yafim::fim

@@ -1,0 +1,50 @@
+// MRApriori: the paper's baseline -- Li et al.'s PApriori, a k-phase
+// parallel Apriori on Hadoop MapReduce. Every level-wise iteration is a
+// fresh MapReduce job that pays job startup, re-reads the transaction
+// dataset from HDFS, ships the candidate set to mappers through the
+// distributed cache, and writes the frequent itemsets back to HDFS, which
+// the driver then reads to generate the next candidates.
+//
+// The paper notes all MapReduce implementations of Apriori share this
+// per-iteration I/O structure, so one baseline represents the class.
+#pragma once
+
+#include <string>
+
+#include "engine/context.h"
+#include "fim/dataset.h"
+#include "fim/result.h"
+#include "simfs/simfs.h"
+
+namespace yafim::fim {
+
+struct MrAprioriOptions {
+  /// Relative minimum support threshold in (0, 1].
+  double min_support = 0.1;
+  /// Map / reduce task counts (0 = substrate defaults: one mapper per
+  /// simulated core, one reducer per node).
+  u32 num_mappers = 0;
+  u32 num_reducers = 0;
+  /// Candidate probing structure (matches YafimOptions for fair compares).
+  bool use_hash_tree = true;
+  u32 branching = 0;  // 0 = auto (HashTree::default_branching)
+  u32 leaf_capacity = 16;
+  /// Scratch directory on the DFS for per-iteration outputs.
+  std::string work_dir = "hdfs://mrapriori";
+  /// Stop after this many levels (0 = run to completion). BigFIM uses this
+  /// to run only the first k Apriori levels before switching to Eclat.
+  u32 max_levels = 0;
+};
+
+/// Mine the dataset stored at `input_path` on `fs`. Cost is charged into
+/// ctx's SimReport (job startup + per-job DFS I/O + JVM-per-task phases).
+MiningRun mr_apriori_mine(engine::Context& ctx, simfs::SimFS& fs,
+                          const std::string& input_path,
+                          const MrAprioriOptions& options);
+
+/// Convenience overload staging `db` onto `fs` first.
+MiningRun mr_apriori_mine(engine::Context& ctx, simfs::SimFS& fs,
+                          const TransactionDB& db,
+                          const MrAprioriOptions& options);
+
+}  // namespace yafim::fim

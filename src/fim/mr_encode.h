@@ -1,0 +1,40 @@
+// Shared wire format for (itemset, count) lists stored on the simulated
+// HDFS by the MapReduce miners (per-iteration L_k outputs).
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "fim/itemset.h"
+#include "util/bytes.h"
+
+namespace yafim::fim {
+
+inline std::vector<u8> encode_counts(
+    const std::vector<std::pair<Itemset, u64>>& counts) {
+  ByteWriter w;
+  w.write_u64(counts.size());
+  for (const auto& [itemset, count] : counts) {
+    w.write_u32_vec(itemset);
+    w.write_u64(count);
+  }
+  return w.take();
+}
+
+inline std::vector<std::pair<Itemset, u64>> decode_counts(
+    std::span<const u8> bytes) {
+  ByteReader r(bytes);
+  const u64 n = r.read_u64();
+  std::vector<std::pair<Itemset, u64>> out;
+  out.reserve(n);
+  for (u64 i = 0; i < n; ++i) {
+    Itemset itemset = r.read_u32_vec();
+    const u64 count = r.read_u64();
+    out.emplace_back(std::move(itemset), count);
+  }
+  YAFIM_CHECK(r.done(), "trailing bytes after count list");
+  return out;
+}
+
+}  // namespace yafim::fim

@@ -1,0 +1,119 @@
+#include "fim/rules.h"
+
+#include <algorithm>
+
+#include "engine/broadcast.h"
+#include "engine/bytes_of.h"
+#include "engine/rdd.h"
+
+namespace yafim::fim {
+
+namespace {
+
+/// Emit every rule of one frequent itemset that clears min_confidence.
+void rules_of_itemset(const Itemset& itemset, u64 support,
+                      const FrequentItemsets& all, double min_confidence,
+                      double num_transactions, std::vector<Rule>& out) {
+  const u32 size = static_cast<u32>(itemset.size());
+  // Every non-empty proper subset as antecedent, by bitmask.
+  for (u32 mask = 1; mask + 1 < (1u << size); ++mask) {
+    engine::work::add(1);
+    Itemset antecedent, consequent;
+    for (u32 bit = 0; bit < size; ++bit) {
+      if (mask & (1u << bit)) {
+        antecedent.push_back(itemset[bit]);
+      } else {
+        consequent.push_back(itemset[bit]);
+      }
+    }
+    // Antecedents of frequent itemsets are themselves frequent
+    // (monotonicity), so the lookup always succeeds.
+    const u64 antecedent_support = all.support_of(antecedent);
+    YAFIM_CHECK(antecedent_support >= support,
+                "support monotonicity violated");
+    const double confidence = static_cast<double>(support) /
+                              static_cast<double>(antecedent_support);
+    if (confidence + 1e-12 < min_confidence) continue;
+
+    const u64 consequent_support = all.support_of(consequent);
+    const double lift =
+        confidence /
+        (static_cast<double>(consequent_support) / num_transactions);
+    out.push_back(Rule{std::move(antecedent), std::move(consequent), support,
+                       confidence, lift});
+  }
+}
+
+void sort_rules(std::vector<Rule>& rules) {
+  std::sort(rules.begin(), rules.end(), [](const Rule& a, const Rule& b) {
+    if (a.confidence != b.confidence) return a.confidence > b.confidence;
+    if (a.support != b.support) return a.support > b.support;
+    if (a.antecedent != b.antecedent) return a.antecedent < b.antecedent;
+    return a.consequent < b.consequent;
+  });
+}
+
+/// Estimated broadcast size of the support table.
+u64 support_table_bytes(const FrequentItemsets& itemsets) {
+  u64 bytes = 16;
+  for (const auto& [itemset, support] : itemsets.sorted()) {
+    (void)support;
+    bytes += engine::byte_size(itemset) + 8;
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::vector<Rule> generate_rules(const FrequentItemsets& itemsets,
+                                 const RuleOptions& options) {
+  YAFIM_CHECK(options.max_itemset_size <= 30,
+              "antecedent enumeration is exponential in itemset size");
+  std::vector<Rule> rules;
+  const double n = static_cast<double>(itemsets.num_transactions());
+
+  for (u32 k = 2; k <= itemsets.max_k(); ++k) {
+    if (k > options.max_itemset_size) break;
+    for (const auto& [itemset, support] : itemsets.level(k)) {
+      rules_of_itemset(itemset, support, itemsets, options.min_confidence, n,
+                       rules);
+    }
+  }
+  sort_rules(rules);
+  return rules;
+}
+
+std::vector<Rule> generate_rules_parallel(engine::Context& ctx,
+                                          const FrequentItemsets& itemsets,
+                                          const RuleOptions& options) {
+  YAFIM_CHECK(options.max_itemset_size <= 30,
+              "antecedent enumeration is exponential in itemset size");
+  // The rule derivation of one itemset needs the supports of all of its
+  // subsets: share the whole table via a broadcast variable.
+  auto table = ctx.broadcast(itemsets, support_table_bytes(itemsets));
+  const double n = static_cast<double>(itemsets.num_transactions());
+  const double min_confidence = options.min_confidence;
+
+  std::vector<std::pair<Itemset, u64>> work_items;
+  for (u32 k = 2; k <= itemsets.max_k(); ++k) {
+    if (k > options.max_itemset_size) break;
+    for (const auto& [itemset, support] : itemsets.level(k)) {
+      work_items.emplace_back(itemset, support);
+    }
+  }
+
+  std::vector<Rule> rules =
+      ctx.parallelize(std::move(work_items))
+          .flat_map([table, min_confidence,
+                     n](const std::pair<Itemset, u64>& entry) {
+            std::vector<Rule> out;
+            rules_of_itemset(entry.first, entry.second, *table,
+                             min_confidence, n, out);
+            return out;
+          })
+          .collect("generateRules");
+  sort_rules(rules);
+  return rules;
+}
+
+}  // namespace yafim::fim

@@ -1,0 +1,43 @@
+// Association-rule generation from mined frequent itemsets -- the
+// downstream step the paper's medical application motivates ("explore the
+// relationships in medicine"): rules A => B with confidence
+// sup(A ∪ B) / sup(A) and lift conf / (sup(B) / |D|).
+#pragma once
+
+#include <vector>
+
+#include "engine/context.h"
+#include "fim/result.h"
+
+namespace yafim::fim {
+
+struct Rule {
+  Itemset antecedent;
+  Itemset consequent;
+  /// Absolute support of antecedent ∪ consequent.
+  u64 support = 0;
+  double confidence = 0.0;
+  double lift = 0.0;
+};
+
+struct RuleOptions {
+  double min_confidence = 0.5;
+  /// Itemsets larger than this are skipped (2^k antecedent enumeration).
+  u32 max_itemset_size = 16;
+};
+
+/// All rules meeting `options.min_confidence`, derived from every frequent
+/// itemset of size >= 2. Deterministically ordered by (confidence desc,
+/// support desc, antecedent, consequent).
+std::vector<Rule> generate_rules(const FrequentItemsets& itemsets,
+                                 const RuleOptions& options);
+
+/// The same computation distributed over the minispark engine: itemsets
+/// are partitioned across tasks and the support table is shared through a
+/// broadcast variable (how a Spark deployment of the paper's medical
+/// application would derive its rules). Bit-identical to generate_rules().
+std::vector<Rule> generate_rules_parallel(engine::Context& ctx,
+                                          const FrequentItemsets& itemsets,
+                                          const RuleOptions& options);
+
+}  // namespace yafim::fim

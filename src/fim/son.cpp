@@ -1,0 +1,170 @@
+#include "fim/son.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "fim/apriori_seq.h"
+#include "fim/hash_tree.h"
+#include "fim/mr_encode.h"
+#include "mapreduce/job.h"
+
+namespace yafim::fim {
+
+namespace {
+
+using CountPair = std::pair<Itemset, u64>;
+using Spec = mr::JobSpec<Transaction, Itemset, u64, CountPair, ItemsetHash>;
+
+std::vector<Transaction> decode_transactions(const std::vector<u8>& bytes) {
+  return TransactionDB::deserialize(bytes).release();
+}
+
+void price_passes(engine::Context& ctx, size_t first_stage, MiningRun& run) {
+  sim::SimReport slice;
+  const auto& stages = ctx.report().stages();
+  for (size_t i = first_stage; i < stages.size(); ++i) slice.add(stages[i]);
+  const std::vector<double> by_pass = slice.pass_seconds(ctx.cost_model());
+  run.setup_seconds = by_pass.empty() ? 0.0 : by_pass[0];
+  for (PassStats& pass : run.passes) {
+    pass.sim_seconds = pass.k < by_pass.size() ? by_pass[pass.k] : 0.0;
+  }
+}
+
+}  // namespace
+
+SonRun son_mine(engine::Context& ctx, simfs::SimFS& fs,
+                const std::string& input_path, const SonOptions& options) {
+  const size_t first_stage = ctx.report().stages().size();
+  mr::JobRunner runner(ctx, fs);
+  SonRun son;
+  MiningRun& run = son.run;
+
+  const u64 num_transactions =
+      TransactionDB::deserialize(fs.read(input_path)).size();
+  if (num_transactions == 0) {
+    run.itemsets = FrequentItemsets(1, 0);
+    return son;
+  }
+  const u64 min_count = static_cast<u64>(std::max<double>(
+      1.0, std::ceil(options.min_support *
+                         static_cast<double>(num_transactions) -
+                     1e-9)));
+  run.itemsets = FrequentItemsets(min_count, num_transactions);
+
+  // ---- Job 1: local Apriori per split, emit locally frequent itemsets --
+  ctx.set_pass(1);
+  Spec local;
+  local.name = "son:local-mining";
+  local.decode_input = decode_transactions;
+  const double min_support = options.min_support;
+  local.map_partition_fn = [min_support](std::span<const Transaction> split,
+                                         mr::Emitter<Itemset, u64>& emit) {
+    if (split.empty()) return;
+    TransactionDB chunk(
+        std::vector<Transaction>(split.begin(), split.end()));
+    AprioriOptions opt;
+    opt.min_support = min_support;
+    const MiningRun local_run = apriori_mine(chunk, opt);
+    for (auto& [itemset, support] : local_run.itemsets.sorted()) {
+      emit.emit(itemset, 1);
+    }
+  };
+  // Reducer deduplicates: value = number of splits where locally frequent.
+  local.reduce_fn = [](const Itemset& key, std::vector<u64>& values)
+      -> std::optional<CountPair> {
+    return CountPair(key, values.size());
+  };
+  local.encode_output = encode_counts;
+  local.num_mappers = options.num_mappers;
+  local.num_reducers = options.num_reducers;
+  auto candidates_result =
+      runner.run(local, input_path, options.work_dir + "/candidates");
+  son.candidate_union = candidates_result.output.size();
+  run.passes.push_back(PassStats{1, son.candidate_union, 0, 0.0});
+
+  // Driver reads the candidate union back and builds per-size hash trees.
+  {
+    sim::StageRecord read_back;
+    read_back.label = "son:driver read candidates";
+    read_back.kind = sim::StageKind::kOverhead;
+    read_back.pass = 2;
+    read_back.dfs_read_bytes = candidates_result.output_bytes;
+    ctx.record(std::move(read_back));
+  }
+  ctx.set_pass(2);
+  engine::work::Scope driver_scope;
+  u32 max_size = 0;
+  for (const auto& [itemset, unused] : candidates_result.output) {
+    max_size = std::max<u32>(max_size, static_cast<u32>(itemset.size()));
+  }
+  std::vector<std::vector<Itemset>> by_size(max_size);
+  for (auto& [itemset, unused] : candidates_result.output) {
+    by_size[itemset.size() - 1].push_back(std::move(itemset));
+  }
+  auto trees = std::make_shared<std::vector<HashTree>>();
+  u64 cache_bytes = 0;
+  for (auto& level : by_size) {
+    if (level.empty()) continue;
+    trees->emplace_back(std::move(level), options.branching,
+                        options.leaf_capacity);
+    cache_bytes += trees->back().serialized_bytes();
+  }
+  {
+    sim::StageRecord gen;
+    gen.label = "son:build hash trees";
+    gen.kind = sim::StageKind::kOverhead;
+    gen.pass = 2;
+    gen.driver_work = driver_scope.measured();
+    ctx.record(std::move(gen));
+  }
+
+  // ---- Job 2: exact global counting of the candidate union -------------
+  Spec global;
+  global.name = "son:global-count";
+  global.decode_input = decode_transactions;
+  global.map_fn = [trees](const Transaction& t,
+                          mr::Emitter<Itemset, u64>& emit) {
+    static thread_local HashTree::Probe probe;
+    for (const HashTree& tree : *trees) {
+      tree.for_each_contained(t, probe, [&](u32 ci) {
+        emit.emit(tree.candidate(ci), 1);
+      });
+    }
+  };
+  global.combine_fn = [](const u64& a, const u64& b) { return a + b; };
+  global.reduce_fn = [min_count](const Itemset& key, std::vector<u64>& values)
+      -> std::optional<CountPair> {
+    u64 sum = 0;
+    for (u64 v : values) sum += v;
+    if (sum < min_count) return std::nullopt;
+    return CountPair(key, sum);
+  };
+  global.encode_output = encode_counts;
+  global.num_mappers = options.num_mappers;
+  global.num_reducers = options.num_reducers;
+  global.distributed_cache_bytes = cache_bytes;
+
+  auto counted = runner.run(global, input_path, options.work_dir + "/L");
+  for (const auto& [itemset, support] : counted.output) {
+    run.itemsets.add(itemset, support);
+  }
+  son.false_candidates = son.candidate_union - counted.output.size();
+  run.passes.push_back(
+      PassStats{2, son.candidate_union, counted.output.size(), 0.0});
+  // Backfill job 1's "frequent" with the exact total for reporting.
+  run.passes[0].frequent = counted.output.size();
+
+  ctx.set_pass(0);
+  price_passes(ctx, first_stage, run);
+  return son;
+}
+
+SonRun son_mine(engine::Context& ctx, simfs::SimFS& fs,
+                const TransactionDB& db, const SonOptions& options) {
+  const std::string path = "hdfs://staging/son-input";
+  fs.write(path, db.serialize());
+  return son_mine(ctx, fs, path, options);
+}
+
+}  // namespace yafim::fim

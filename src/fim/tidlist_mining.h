@@ -1,0 +1,56 @@
+// Shared tidlist machinery for the vertical (Eclat-family) miners:
+// Dist-Eclat's worker subtrees and BigFIM's reducer subtrees run exactly
+// this depth-first equivalence-class mining.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "engine/work.h"
+#include "fim/itemset.h"
+
+namespace yafim::fim {
+
+using TidList = std::vector<u32>;
+
+/// Sorted-tidlist intersection, charged to the engine work counter (one
+/// unit per element touched -- the real cost profile of vertical mining).
+inline TidList intersect_tidlists(const TidList& a, const TidList& b) {
+  engine::work::add(a.size() + b.size());
+  TidList out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+/// Depth-first mining of one equivalence class: `prefix` with frequent
+/// one-item extensions `siblings` (item, tidlist of prefix ∪ {item}),
+/// items ascending and all greater than max(prefix). Emits
+/// (itemset, support) for every frequent itemset strictly containing
+/// `prefix` within this class.
+inline void mine_tidlist_class(
+    const Itemset& prefix,
+    std::vector<std::pair<Item, TidList>>& siblings, u64 min_count,
+    std::vector<std::pair<Itemset, u64>>& out) {
+  for (size_t i = 0; i < siblings.size(); ++i) {
+    Itemset found = prefix;
+    found.push_back(siblings[i].first);
+    out.emplace_back(found, siblings[i].second.size());
+
+    std::vector<std::pair<Item, TidList>> extensions;
+    for (size_t j = i + 1; j < siblings.size(); ++j) {
+      TidList tids = intersect_tidlists(siblings[i].second,
+                                        siblings[j].second);
+      if (tids.size() >= min_count) {
+        extensions.emplace_back(siblings[j].first, std::move(tids));
+      }
+    }
+    if (!extensions.empty()) {
+      mine_tidlist_class(found, extensions, min_count, out);
+    }
+  }
+}
+
+}  // namespace yafim::fim

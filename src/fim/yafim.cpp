@@ -1,0 +1,217 @@
+#include "fim/yafim.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "engine/broadcast.h"
+#include "engine/rdd.h"
+#include "fim/candidate_gen.h"
+#include "fim/hash_tree.h"
+
+namespace yafim::fim {
+
+namespace {
+
+using CountPair = std::pair<Itemset, u64>;
+
+/// Fill PassStats::sim_seconds (and the setup time) by pricing the stages
+/// this run appended to the context's report.
+void price_passes(engine::Context& ctx, size_t first_stage, MiningRun& run) {
+  sim::SimReport slice;
+  const auto& stages = ctx.report().stages();
+  for (size_t i = first_stage; i < stages.size(); ++i) slice.add(stages[i]);
+  const std::vector<double> by_pass = slice.pass_seconds(ctx.cost_model());
+  run.setup_seconds = by_pass.empty() ? 0.0 : by_pass[0];
+  for (PassStats& pass : run.passes) {
+    pass.sim_seconds = pass.k < by_pass.size() ? by_pass[pass.k] : 0.0;
+  }
+}
+
+}  // namespace
+
+MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
+                     const std::string& input_path,
+                     const YafimOptions& options) {
+  const size_t first_stage = ctx.report().stages().size();
+
+  // ---- Phase 0: load the dataset from HDFS into a cached RDD ----------
+  ctx.set_pass(0);
+  const std::vector<u8> raw = fs.read(input_path);
+  TransactionDB db = TransactionDB::deserialize(raw);
+  const u32 load_tasks =
+      options.partitions ? options.partitions : ctx.default_partitions();
+  // Parsing records through the input format costs record_parse_work per
+  // record; Spark pays it exactly once here (the cached RDD keeps the
+  // deserialized objects), vs once per job on the MapReduce substrate.
+  // Snapshot the record count now -- db is released into the RDD below.
+  const u64 parse_records = db.size();
+  auto parse_stage = [&ctx, &raw, parse_records,
+                      load_tasks](const std::string& label) {
+    sim::StageRecord stage;
+    stage.label = label;
+    stage.kind = sim::StageKind::kSparkStage;
+    stage.pass = ctx.pass();
+    const u64 per_task =
+        parse_records * (1 + ctx.cluster().record_parse_work) / load_tasks;
+    stage.tasks.assign(load_tasks, sim::TaskRecord{per_task});
+    stage.dfs_read_bytes = raw.size();
+    return stage;
+  };
+  ctx.record(parse_stage("load:textFile+parse"));
+
+  const u64 num_transactions = db.size();
+  const u64 min_count = db.min_support_count(options.min_support);
+  MiningRun run;
+  run.itemsets = FrequentItemsets(min_count, num_transactions);
+  if (num_transactions == 0) return run;
+
+  // textFile(...).map(_.getTransaction()): the map keeps the cached RDD a
+  // lineage child of driver-held data, so lost partitions are recomputable.
+  auto transactions =
+      ctx.parallelize(db.release(), options.partitions)
+          .map([](const Transaction& t) { return t; });
+  if (options.cache_transactions) transactions.persist();
+
+  // ---- Phase I: frequent 1-itemsets (Algorithm 2) ----------------------
+  ctx.set_pass(1);
+  std::vector<CountPair> level =
+      transactions
+          .flat_map([](const Transaction& t) { return t; })
+          .map([](const Item& i) { return CountPair(Itemset{i}, 1); })
+          .reduce_by_key([](u64 a, u64 b) { return a + b; }, 0, ItemsetHash{},
+                         "phase1:count")
+          .filter([min_count](const CountPair& kv) {
+            return kv.second >= min_count;
+          })
+          .collect("phase1:collect");
+
+  std::vector<Itemset> frequent;
+  frequent.reserve(level.size());
+  for (const auto& [itemset, support] : level) {
+    run.itemsets.add(itemset, support);
+    frequent.push_back(itemset);
+  }
+  run.passes.push_back(PassStats{1, level.size(), level.size(), 0.0});
+
+  // ---- Phase II: Lk from L(k-1) (Algorithm 3) --------------------------
+  // With combine_passes > 1, one cluster pass counts a batch of candidate
+  // levels (levels beyond the first generated from candidates, a superset
+  // of the true Ck -- results stay exact).
+  const u32 combine = std::max<u32>(1, options.combine_passes);
+  for (u32 k = 2; !frequent.empty();) {
+    ctx.set_pass(k);
+
+    // Driver side: ap_gen + hash-tree builds, measured as driver work.
+    engine::work::Scope driver_scope;
+    std::vector<std::vector<Itemset>> batch;
+    {
+      std::vector<Itemset> base = frequent;
+      for (u32 j = 0; j < combine; ++j) {
+        // Guard speculative growth: generating level j+1 from a large
+        // *unverified* level j is a combinatorial explosion (the join is
+        // quadratic within shared-prefix groups). Verified levels (j == 0)
+        // are always generated.
+        if (j > 0 && base.size() > options.combine_candidate_budget) break;
+        std::vector<Itemset> candidates = apriori_gen(base, k + j);
+        if (candidates.empty()) break;
+        if (j > 0 && candidates.size() > options.combine_candidate_budget) {
+          break;  // count this level next batch, from verified sets
+        }
+        base = candidates;
+        batch.push_back(std::move(candidates));
+      }
+    }
+    if (batch.empty()) break;
+    const u32 levels_in_batch = static_cast<u32>(batch.size());
+
+    auto trees = std::make_shared<std::vector<HashTree>>();
+    std::vector<u64> num_candidates;
+    u64 tree_bytes = 0;
+    for (auto& candidates : batch) {
+      num_candidates.push_back(candidates.size());
+      trees->emplace_back(std::move(candidates), options.branching,
+                          options.leaf_capacity);
+      tree_bytes += trees->back().serialized_bytes();
+    }
+    {
+      sim::StageRecord gen;
+      gen.label = "pass" + std::to_string(k) + ":ap_gen+buildHashTree";
+      gen.kind = sim::StageKind::kOverhead;
+      gen.pass = k;
+      gen.driver_work = driver_scope.measured();
+      ctx.record(std::move(gen));
+    }
+
+    // Without caching, Spark recomputes the transactions lineage from
+    // HDFS on every action: charge the re-read and the re-parse.
+    if (!options.cache_transactions) {
+      ctx.record(
+          parse_stage("pass" + std::to_string(k) + ":recompute lineage"));
+    }
+
+    auto broadcast_trees = ctx.broadcast(trees, tree_bytes);
+    const bool use_hash_tree = options.use_hash_tree;
+    level =
+        transactions
+            .flat_map([broadcast_trees, use_hash_tree](const Transaction& t) {
+              std::vector<Itemset> occurrences;
+              for (const HashTree& tree : **broadcast_trees) {
+                auto on_hit = [&](u32 ci) {
+                  occurrences.push_back(tree.candidate(ci));
+                };
+                if (use_hash_tree) {
+                  static thread_local HashTree::Probe probe;
+                  tree.for_each_contained(t, probe, on_hit);
+                } else {
+                  tree.for_each_contained_linear(t, on_hit);
+                }
+              }
+              return occurrences;
+            })
+            .map([](const Itemset& c) { return CountPair(c, 1); })
+            .reduce_by_key([](u64 a, u64 b) { return a + b; }, 0,
+                           ItemsetHash{},
+                           "pass" + std::to_string(k) + ":count")
+            .filter([min_count](const CountPair& kv) {
+              return kv.second >= min_count;
+            })
+            .collect("pass" + std::to_string(k) + ":collect");
+
+    // Split the mixed-size result back into levels.
+    std::vector<std::vector<CountPair>> by_level(levels_in_batch);
+    for (auto& [itemset, support] : level) {
+      const u32 lvl = static_cast<u32>(itemset.size());
+      YAFIM_CHECK(lvl >= k && lvl < k + levels_in_batch,
+                  "unexpected itemset size in pass output");
+      by_level[lvl - k].emplace_back(std::move(itemset), support);
+    }
+    for (u32 j = 0; j < levels_in_batch; ++j) {
+      for (const auto& [itemset, support] : by_level[j]) {
+        run.itemsets.add(itemset, support);
+      }
+      run.passes.push_back(PassStats{k + j, num_candidates[j],
+                                     by_level[j].size(), 0.0});
+    }
+
+    frequent.clear();
+    for (const auto& [itemset, support] : by_level[levels_in_batch - 1]) {
+      (void)support;
+      frequent.push_back(itemset);
+    }
+    k += levels_in_batch;
+  }
+
+  ctx.set_pass(0);
+  price_passes(ctx, first_stage, run);
+  return run;
+}
+
+MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
+                     const TransactionDB& db, const YafimOptions& options) {
+  const std::string path = "hdfs://staging/yafim-input";
+  fs.write(path, db.serialize());
+  return yafim_mine(ctx, fs, path, options);
+}
+
+}  // namespace yafim::fim

@@ -1,0 +1,67 @@
+// YAFIM (Yet Another Frequent Itemset Mining): the paper's contribution --
+// Apriori expressed on the RDD model so the transaction dataset is loaded
+// from (simulated) HDFS once, cached in cluster memory, and re-scanned in
+// memory on every level-wise iteration, with the candidate hash tree shared
+// through broadcast variables.
+//
+// Phase I  (Algorithm 2): textFile -> flatMap(items) -> map((item, 1))
+//                         -> reduceByKey(+) -> filter(>= MinSup)  => L1
+// Phase II (Algorithm 3): Ck = ap_gen(L(k-1)); broadcast hash tree over Ck;
+//                         Transactions.flatMap(subset(Ck, t))
+//                         -> map((c, 1)) -> reduceByKey(+)
+//                         -> filter(>= MinSup)                    => Lk
+#pragma once
+
+#include <string>
+
+#include "engine/context.h"
+#include "fim/dataset.h"
+#include "fim/result.h"
+#include "simfs/simfs.h"
+
+namespace yafim::fim {
+
+struct YafimOptions {
+  /// Relative minimum support threshold in (0, 1].
+  double min_support = 0.1;
+  /// RDD partitions for the transactions dataset (0 = context default).
+  u32 partitions = 0;
+
+  /// Ablations (all default to the paper's design):
+  /// cache the transactions RDD in memory across iterations; off models
+  /// Spark recomputing from HDFS every pass.
+  bool cache_transactions = true;
+  /// probe candidates through the hash tree; off scans candidates linearly.
+  bool use_hash_tree = true;
+
+  /// Hash-tree tuning.
+  u32 branching = 0;  // 0 = auto (HashTree::default_branching)
+  u32 leaf_capacity = 16;
+
+  /// Extension (ours, transplanting Lin et al.'s pass combining onto the
+  /// RDD side): count up to this many candidate levels per cluster pass,
+  /// generating level j+1 candidates from level j *candidates*. Results
+  /// stay exact; the trade is fewer per-pass floors against speculative
+  /// counting work. 1 = the paper's design.
+  u32 combine_passes = 1;
+  /// Speculative-generation guard for combine_passes > 1 (DPC's lesson):
+  /// a batch stops growing once its current level holds more candidates
+  /// than this -- candidates-from-candidates joins over a large unverified
+  /// level explode combinatorially.
+  u64 combine_candidate_budget = 20000;
+};
+
+/// Mine the dataset stored at `input_path` on `fs` (a serialized
+/// TransactionDB). Cost is charged into ctx's SimReport; the returned run
+/// carries per-pass simulated seconds under ctx's cluster.
+MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
+                     const std::string& input_path,
+                     const YafimOptions& options);
+
+/// Convenience overload: stages `db` onto `fs` at a scratch path (write not
+/// charged to the run -- the dataset pre-exists on HDFS in the paper's
+/// setup), then mines it.
+MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
+                     const TransactionDB& db, const YafimOptions& options);
+
+}  // namespace yafim::fim

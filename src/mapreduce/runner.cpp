@@ -1,0 +1,9 @@
+// The MapReduce substrate is header-only (templates); this translation unit
+// anchors the library target and holds its static checks.
+#include "mapreduce/job.h"
+
+namespace yafim::mr {
+
+static_assert(sizeof(JobResult<int>) > 0);
+
+}  // namespace yafim::mr

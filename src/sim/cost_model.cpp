@@ -1,0 +1,43 @@
+#include "sim/cost_model.h"
+
+#include <cmath>
+
+namespace yafim::sim {
+
+double CostModel::dfs_read_seconds(u64 bytes) const {
+  // Blocks are spread over the cluster; every node streams its local share.
+  const double streams = static_cast<double>(cluster_.nodes);
+  return static_cast<double>(bytes) / (disk_bps() * streams);
+}
+
+double CostModel::dfs_write_seconds(u64 bytes) const {
+  const double streams = static_cast<double>(cluster_.nodes);
+  const double r = static_cast<double>(cluster_.hdfs_replication);
+  const double disk = static_cast<double>(bytes) * r / (disk_bps() * streams);
+  const double net =
+      static_cast<double>(bytes) * (r - 1.0) / (net_bps() * streams);
+  // Replication pipelines disk and network; the slower resource dominates.
+  return disk > net ? disk : net;
+}
+
+double CostModel::shuffle_seconds(u64 bytes) const {
+  const double streams = static_cast<double>(cluster_.nodes);
+  const double spill = static_cast<double>(bytes) / (disk_bps() * streams);
+  const double wire = static_cast<double>(bytes) / (net_bps() * streams);
+  return spill + wire;
+}
+
+double CostModel::broadcast_seconds(u64 bytes) const {
+  // Tree broadcast: latency grows with log2(nodes) hops, each hop streaming
+  // the full payload.
+  const double hops =
+      std::ceil(std::log2(static_cast<double>(cluster_.nodes) + 1.0));
+  return static_cast<double>(bytes) / net_bps() * hops;
+}
+
+double CostModel::naive_ship_seconds(u64 bytes, u64 tasks) const {
+  // Every task pulls its own copy through the driver's single uplink.
+  return static_cast<double>(bytes) * static_cast<double>(tasks) / net_bps();
+}
+
+}  // namespace yafim::sim

@@ -1,0 +1,36 @@
+#include "sim/makespan.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace yafim::sim {
+
+std::vector<double> lpt_loads(std::span<const double> durations, u32 cores) {
+  YAFIM_CHECK(cores > 0, "need at least one core");
+  std::vector<double> sorted(durations.begin(), durations.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+
+  // Min-heap of (load, core index); always place the next-longest task on
+  // the least-loaded core.
+  using Slot = std::pair<double, u32>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>> heap;
+  for (u32 c = 0; c < cores; ++c) heap.emplace(0.0, c);
+
+  std::vector<double> loads(cores, 0.0);
+  for (double d : sorted) {
+    auto [load, core] = heap.top();
+    heap.pop();
+    load += d;
+    loads[core] = load;
+    heap.emplace(load, core);
+  }
+  return loads;
+}
+
+double lpt_makespan(std::span<const double> durations, u32 cores) {
+  if (durations.empty()) return 0.0;
+  const auto loads = lpt_loads(durations, cores);
+  return *std::max_element(loads.begin(), loads.end());
+}
+
+}  // namespace yafim::sim

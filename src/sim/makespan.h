@@ -1,0 +1,23 @@
+// Stage scheduling: given per-task durations and a number of identical
+// simulated cores, compute the stage's makespan.
+//
+// We use Longest-Processing-Time-first (LPT) list scheduling, a 4/3-optimal
+// classic that matches how Spark/Hadoop greedily hand tasks to free slots.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+
+namespace yafim::sim {
+
+/// Makespan of scheduling `durations` (seconds) onto `cores` identical
+/// workers with LPT. Returns 0 for an empty task list.
+double lpt_makespan(std::span<const double> durations, u32 cores);
+
+/// Per-core finishing times for the same schedule (useful for utilisation
+/// diagnostics; the max element equals lpt_makespan()).
+std::vector<double> lpt_loads(std::span<const double> durations, u32 cores);
+
+}  // namespace yafim::sim

@@ -1,0 +1,65 @@
+#include "simfs/simfs.h"
+
+namespace yafim::simfs {
+
+double SimFS::write(const std::string& path, std::vector<u8> data) {
+  const u64 n = data.size();
+  const double seconds = model_.dfs_write_seconds(n);
+  std::lock_guard<std::mutex> lock(mutex_);
+  files_[path] = std::move(data);
+  bytes_written_ += n;
+  return seconds;
+}
+
+std::vector<u8> SimFS::read(const std::string& path,
+                            double* sim_seconds) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  YAFIM_CHECK(it != files_.end(), path.c_str());
+  bytes_read_ += it->second.size();
+  if (sim_seconds) *sim_seconds = model_.dfs_read_seconds(it->second.size());
+  return it->second;
+}
+
+bool SimFS::exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_.count(path) > 0;
+}
+
+bool SimFS::remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_.erase(path) > 0;
+}
+
+std::optional<FileStat> SimFS::stat(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return std::nullopt;
+  FileStat st;
+  st.bytes = it->second.size();
+  st.blocks = static_cast<u32>(
+      st.bytes == 0 ? 1 : ceil_div(st.bytes, cluster_.hdfs_block_bytes));
+  return st;
+}
+
+std::vector<std::string> SimFS::list(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+u64 SimFS::total_bytes_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_written_;
+}
+
+u64 SimFS::total_bytes_read() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_read_;
+}
+
+}  // namespace yafim::simfs

@@ -1,0 +1,67 @@
+// SimFS: a simulated HDFS.
+//
+// Stands in for the HDFS cluster the paper stores its datasets on. Files
+// live in host memory, but every read/write is priced by the cost model
+// (block replication, disk and network bandwidth), and the byte payloads are
+// real serialized data: the MapReduce substrate genuinely round-trips its
+// inputs and outputs through here each job, which is precisely the overhead
+// YAFIM is designed to avoid.
+//
+// Thread-safe. Paths are flat strings; "directories" are prefixes.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "util/common.h"
+
+namespace yafim::simfs {
+
+struct FileStat {
+  u64 bytes = 0;
+  u32 blocks = 0;
+};
+
+class SimFS {
+ public:
+  explicit SimFS(sim::ClusterConfig cluster)
+      : cluster_(cluster), model_(cluster) {}
+
+  /// Store `data` at `path`, replacing any existing file. Returns the
+  /// simulated seconds the write took (replicated pipeline write).
+  double write(const std::string& path, std::vector<u8> data);
+
+  /// Read the file at `path`. Aborts if missing (missing input is a
+  /// programming error in this codebase, not a runtime condition). If
+  /// `sim_seconds` is non-null it receives the simulated read time.
+  std::vector<u8> read(const std::string& path,
+                       double* sim_seconds = nullptr) const;
+
+  bool exists(const std::string& path) const;
+  bool remove(const std::string& path);
+  std::optional<FileStat> stat(const std::string& path) const;
+
+  /// All paths with the given prefix, sorted.
+  std::vector<std::string> list(const std::string& prefix) const;
+
+  /// Cumulative traffic counters (bytes) since construction.
+  u64 total_bytes_written() const;
+  u64 total_bytes_read() const;
+
+  const sim::ClusterConfig& cluster() const { return cluster_; }
+
+ private:
+  sim::ClusterConfig cluster_;
+  sim::CostModel model_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::vector<u8>> files_;
+  u64 bytes_written_ = 0;
+  mutable u64 bytes_read_ = 0;
+};
+
+}  // namespace yafim::simfs

@@ -1,0 +1,40 @@
+// Common small utilities shared across all yafim subsystems.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+namespace yafim {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Always-on invariant check (unlike assert(), active in release builds).
+/// Used on cheap invariants at module boundaries; hot inner loops use
+/// YAFIM_DCHECK which compiles out in release.
+#define YAFIM_CHECK(cond, msg)                                                \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s -- %s\n", __FILE__,     \
+                   __LINE__, #cond, msg);                                     \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#ifndef NDEBUG
+#define YAFIM_DCHECK(cond, msg) YAFIM_CHECK(cond, msg)
+#else
+#define YAFIM_DCHECK(cond, msg) ((void)0)
+#endif
+
+/// Round-up integer division.
+constexpr u64 ceil_div(u64 a, u64 b) { return (a + b - 1) / b; }
+
+}  // namespace yafim

@@ -1,0 +1,54 @@
+#include "util/log.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace yafim {
+namespace log_detail {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+namespace {
+std::mutex g_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void vlog(LogLevel level, const char* fmt, std::va_list args) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s] ", level_tag(level));
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace log_detail
+
+#define YAFIM_DEFINE_LOG_FN(name, level)                   \
+  void name(const char* fmt, ...) {                        \
+    std::va_list args;                                     \
+    va_start(args, fmt);                                   \
+    log_detail::vlog(level, fmt, args);                    \
+    va_end(args);                                          \
+  }
+
+YAFIM_DEFINE_LOG_FN(log_debug, LogLevel::kDebug)
+YAFIM_DEFINE_LOG_FN(log_info, LogLevel::kInfo)
+YAFIM_DEFINE_LOG_FN(log_warn, LogLevel::kWarn)
+YAFIM_DEFINE_LOG_FN(log_error, LogLevel::kError)
+
+#undef YAFIM_DEFINE_LOG_FN
+
+}  // namespace yafim

@@ -1,0 +1,33 @@
+// Minimal leveled logger. Thread-safe; printf-style formatting.
+//
+// The default level is kInfo; benches lower it to kWarn so harness output
+// stays clean. Not a general-purpose logging framework on purpose -- the
+// library's observable outputs are the metric reports, not log lines.
+#pragma once
+
+#include <atomic>
+#include <cstdarg>
+
+namespace yafim {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+namespace log_detail {
+extern std::atomic<LogLevel> g_level;
+void vlog(LogLevel level, const char* fmt, std::va_list args);
+}  // namespace log_detail
+
+inline void set_log_level(LogLevel level) {
+  log_detail::g_level.store(level, std::memory_order_relaxed);
+}
+
+inline LogLevel log_level() {
+  return log_detail::g_level.load(std::memory_order_relaxed);
+}
+
+void log_debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log_info(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log_warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log_error(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace yafim

@@ -1,0 +1,146 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the repository flows through these generators so every
+// experiment is reproducible bit-for-bit from its seed. SplitMix64 is used
+// for seeding / hashing; Xoshiro256** is the workhorse generator (fast,
+// passes BigCrush, trivially splittable by jump-free reseeding through
+// SplitMix64).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "util/common.h"
+
+namespace yafim {
+
+/// SplitMix64: tiny, strong 64-bit mixer. Good enough as a standalone PRNG
+/// and ideal for turning arbitrary integers (seeds, ids) into well-mixed
+/// state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(u64 seed) : state_(seed) {}
+
+  u64 next() {
+    u64 z = (state_ += 0x9E3779B97f4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  u64 state_;
+};
+
+/// Mix an arbitrary 64-bit value into a well-distributed hash.
+inline u64 mix64(u64 x) { return SplitMix64(x).next(); }
+
+/// Xoshiro256**: the default generator for workload synthesis.
+class Rng {
+ public:
+  using result_type = u64;
+
+  explicit Rng(u64 seed = 0x9E3779B97F4A7C15ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<u64>::max();
+  }
+
+  u64 operator()() { return next(); }
+
+  u64 next() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Lemire's multiply-shift rejection method.
+  u64 below(u64 bound) {
+    YAFIM_DCHECK(bound > 0, "below() needs a positive bound");
+    // 128-bit multiply keeps the distribution exactly uniform.
+    u64 x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    u64 lo = static_cast<u64>(m);
+    if (lo < bound) {
+      const u64 threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<u64>(m);
+      }
+    }
+    return static_cast<u64>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  i64 range(i64 lo, i64 hi) {
+    YAFIM_DCHECK(lo <= hi, "range() needs lo <= hi");
+    return lo + static_cast<i64>(below(static_cast<u64>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Poisson-distributed integer (Knuth's method; means here are small).
+  u32 poisson(double mean) {
+    YAFIM_DCHECK(mean >= 0.0, "poisson() needs a non-negative mean");
+    const double limit = std::exp(-mean);
+    double prod = uniform();
+    u32 n = 0;
+    while (prod > limit) {
+      ++n;
+      prod *= uniform();
+    }
+    return n;
+  }
+
+  /// Standard-normal sample (Box-Muller; one value per call, cache unused).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    constexpr double two_pi = 6.283185307179586476925286766559;
+    return mean + stddev * r * std::cos(two_pi * u2);
+  }
+
+  /// Geometric-ish skewed pick in [0, n): item 0 most likely. Used by the
+  /// dataset generators to create realistic frequency skew.
+  u64 skewed_below(u64 n, double theta) {
+    // Inverse-transform sample of a truncated power law x^{-theta}.
+    const double u = uniform();
+    const double x = std::pow(u, theta) * static_cast<double>(n);
+    u64 v = static_cast<u64>(x);
+    return v >= n ? n - 1 : v;
+  }
+
+  /// Derive an independent child generator (e.g. one per partition).
+  Rng split(u64 stream_id) {
+    SplitMix64 sm(mix64(state_[0] ^ mix64(stream_id)));
+    return Rng(sm.next());
+  }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<u64, 4> state_;
+};
+
+}  // namespace yafim

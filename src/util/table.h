@@ -1,0 +1,38 @@
+// ASCII table / CSV printer used by the benchmark harnesses to regenerate
+// the paper's tables and figure series in a readable, diffable form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace yafim {
+
+/// Collects rows of string cells and renders them either as an aligned
+/// ASCII table (for humans) or CSV (for plotting scripts).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row. Must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string num(u64 v);
+
+  std::string to_ascii() const;
+  std::string to_csv() const;
+
+  size_t rows() const { return rows_.size(); }
+  size_t cols() const { return header_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(size_t i) const { return rows_.at(i); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace yafim

@@ -1,0 +1,131 @@
+// Unit + property tests for Apriori candidate generation (join + prune).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "fim/candidate_gen.h"
+#include "util/rng.h"
+
+namespace yafim::fim {
+namespace {
+
+TEST(CandidateGen, PairsFromSingletons) {
+  const std::vector<Itemset> l1{{1}, {3}, {7}};
+  const auto c2 = apriori_gen(l1, 2);
+  EXPECT_EQ(c2, (std::vector<Itemset>{{1, 3}, {1, 7}, {3, 7}}));
+}
+
+TEST(CandidateGen, EmptyInput) {
+  EXPECT_TRUE(apriori_gen({}, 2).empty());
+  EXPECT_TRUE(apriori_gen({{1}}, 2).empty());  // one itemset cannot join
+}
+
+TEST(CandidateGen, ClassicTextbookExample) {
+  // L3 = {abc, abd, acd, ace, bcd}; join gives abcd, acde;
+  // prune removes acde (cde not in L3). (Han & Kamber example.)
+  const std::vector<Itemset> l3{{1, 2, 3}, {1, 2, 4}, {1, 3, 4},
+                                {1, 3, 5}, {2, 3, 4}};
+  const auto c4 = apriori_gen(l3, 4);
+  EXPECT_EQ(c4, (std::vector<Itemset>{{1, 2, 3, 4}}));
+}
+
+TEST(CandidateGen, PruneRemovesUnsupportedSubsets) {
+  // {1,2} and {1,3} join to {1,2,3}, but {2,3} is missing -> pruned.
+  const std::vector<Itemset> l2{{1, 2}, {1, 3}};
+  EXPECT_TRUE(apriori_gen(l2, 3).empty());
+}
+
+TEST(CandidateGen, JoinRequiresSharedPrefix) {
+  // {1,2} and {3,4} share no prefix -> no candidate.
+  const std::vector<Itemset> l2{{1, 2}, {3, 4}};
+  EXPECT_TRUE(apriori_gen(l2, 3).empty());
+}
+
+TEST(CandidateGen, UnsortedInputHandled) {
+  const std::vector<Itemset> l1{{7}, {1}, {3}};
+  const auto c2 = apriori_gen(l1, 2);
+  EXPECT_EQ(c2.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(c2.begin(), c2.end()));
+}
+
+TEST(CandidateGen, WrongSizeInputAborts) {
+  EXPECT_DEATH(apriori_gen({{1, 2}}, 2), "must be");
+  EXPECT_DEATH(apriori_gen({{1}}, 3), "must be");
+}
+
+TEST(CandidateGen, AllSubsetsPresentHelper) {
+  std::unordered_map<Itemset, u64, ItemsetHash, ItemsetEq> prev;
+  prev[{1, 2}] = 1;
+  prev[{1, 3}] = 1;
+  prev[{2, 3}] = 1;
+  EXPECT_TRUE(all_subsets_present({1, 2, 3}, prev));
+  prev.erase({2, 3});
+  EXPECT_FALSE(all_subsets_present({1, 2, 3}, prev));
+}
+
+/// Brute-force reference: all k-sets whose every (k-1)-subset is in prev.
+std::set<Itemset> brute_force_gen(const std::vector<Itemset>& prev, u32 k,
+                                  u32 universe) {
+  std::set<Itemset> prev_set(prev.begin(), prev.end());
+  std::set<Itemset> out;
+  // Enumerate all k-subsets of [0, universe).
+  std::vector<u32> idx(k);
+  std::function<void(u32, u32)> rec = [&](u32 pos, u32 start) {
+    if (pos == k) {
+      Itemset c(idx.begin(), idx.end());
+      bool ok = true;
+      for (u32 skip = 0; skip < k && ok; ++skip) {
+        Itemset sub;
+        for (u32 j = 0; j < k; ++j) {
+          if (j != skip) sub.push_back(c[j]);
+        }
+        ok = prev_set.count(sub) > 0;
+      }
+      if (ok) out.insert(c);
+      return;
+    }
+    for (u32 i = start; i < universe; ++i) {
+      idx[pos] = i;
+      rec(pos + 1, i + 1);
+    }
+  };
+  rec(0, 0);
+  return out;
+}
+
+class CandidateGenSweep
+    : public ::testing::TestWithParam<std::tuple<u32, u32>> {};
+
+TEST_P(CandidateGenSweep, MatchesBruteForce) {
+  const auto [k, seed] = GetParam();
+  constexpr u32 kUniverse = 9;
+  Rng rng(seed);
+  // Random downward-closed-ish previous level: random (k-1)-sets.
+  std::set<Itemset> prev_set;
+  for (int i = 0; i < 25; ++i) {
+    Itemset s;
+    while (s.size() < k - 1) {
+      const Item item = static_cast<Item>(rng.below(kUniverse));
+      if (std::find(s.begin(), s.end(), item) == s.end()) s.push_back(item);
+    }
+    canonicalize(s);
+    prev_set.insert(s);
+  }
+  const std::vector<Itemset> prev(prev_set.begin(), prev_set.end());
+
+  const auto got = apriori_gen(prev, k);
+  const auto expected = brute_force_gen(prev, k, kUniverse);
+  EXPECT_EQ(std::set<Itemset>(got.begin(), got.end()), expected)
+      << "k=" << k << " seed=" << seed;
+  // No duplicates in the generated list.
+  EXPECT_EQ(got.size(), std::set<Itemset>(got.begin(), got.end()).size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CandidateGenSweep,
+                         ::testing::Combine(::testing::Values(2u, 3u, 4u),
+                                            ::testing::Range(1u, 9u)));
+
+}  // namespace
+}  // namespace yafim::fim

@@ -1,0 +1,124 @@
+// Tests for closed/maximal itemset post-processing.
+#include <gtest/gtest.h>
+
+#include "fim/apriori_seq.h"
+#include "fim/condensed.h"
+#include "util/rng.h"
+
+namespace yafim::fim {
+namespace {
+
+/// 6 transactions; classic tiny lattice.
+FrequentItemsets mined_sample() {
+  // D = { {1,2,3} x3, {1,2} x2, {3} x1 }, MinSup = 2.
+  TransactionDB db({{1, 2, 3}, {1, 2, 3}, {1, 2, 3}, {1, 2}, {1, 2}, {3}});
+  AprioriOptions opt;
+  opt.min_support = 2.0 / 6.0;
+  return apriori_mine(db, opt).itemsets;
+}
+
+TEST(Condensed, ClosedSetsOfSample) {
+  const auto all = mined_sample();
+  // sup: {1}=5 {2}=5 {3}=4 {1,2}=5 {1,3}=3 {2,3}=3 {1,2,3}=3.
+  ASSERT_EQ(all.total(), 7u);
+  const auto closed = closed_itemsets(all);
+  // {1} and {2} are absorbed by {1,2} (same support 5); {1,3}, {2,3}
+  // by {1,2,3} (support 3). Closed: {3}, {1,2}, {1,2,3}.
+  EXPECT_EQ(closed.total(), 3u);
+  EXPECT_TRUE(closed.contains({3}));
+  EXPECT_TRUE(closed.contains({1, 2}));
+  EXPECT_TRUE(closed.contains({1, 2, 3}));
+  EXPECT_EQ(closed.support_of({1, 2}), 5u);
+}
+
+TEST(Condensed, MaximalSetsOfSample) {
+  const auto all = mined_sample();
+  const auto maximal = maximal_itemsets(all);
+  EXPECT_EQ(maximal.total(), 1u);
+  EXPECT_TRUE(maximal.contains({1, 2, 3}));
+}
+
+TEST(Condensed, MaximalSubsetOfClosedSubsetOfAll) {
+  Rng rng(8);
+  std::vector<Transaction> tx;
+  for (int i = 0; i < 200; ++i) {
+    Transaction t;
+    for (u32 item = 0; item < 12; ++item) {
+      if (rng.bernoulli(0.45)) t.push_back(item);
+    }
+    if (t.empty()) t.push_back(0);
+    tx.push_back(std::move(t));
+  }
+  TransactionDB db(std::move(tx));
+  AprioriOptions opt;
+  opt.min_support = 0.2;
+  const auto all = apriori_mine(db, opt).itemsets;
+  const auto closed = closed_itemsets(all);
+  const auto maximal = maximal_itemsets(all);
+
+  EXPECT_LE(maximal.total(), closed.total());
+  EXPECT_LE(closed.total(), all.total());
+  EXPECT_GT(maximal.total(), 0u);
+
+  // Every maximal set is closed (a frequent superset with equal support
+  // would in particular be a frequent superset).
+  for (const auto& [itemset, support] : maximal.sorted()) {
+    EXPECT_EQ(closed.support_of(itemset), support) << to_string(itemset);
+  }
+  // Every closed set keeps its original support.
+  for (const auto& [itemset, support] : closed.sorted()) {
+    EXPECT_EQ(all.support_of(itemset), support);
+  }
+}
+
+TEST(Condensed, ClosednessVerifiedAgainstDefinition) {
+  Rng rng(15);
+  std::vector<Transaction> tx;
+  for (int i = 0; i < 120; ++i) {
+    Transaction t;
+    for (u32 item = 0; item < 9; ++item) {
+      if (rng.bernoulli(0.5)) t.push_back(item);
+    }
+    if (t.empty()) t.push_back(0);
+    tx.push_back(std::move(t));
+  }
+  TransactionDB db(std::move(tx));
+  AprioriOptions opt;
+  opt.min_support = 0.25;
+  const auto all = apriori_mine(db, opt).itemsets;
+  const auto closed = closed_itemsets(all);
+  const auto maximal = maximal_itemsets(all);
+
+  // Definition check against the full collection, per itemset.
+  for (const auto& [itemset, support] : all.sorted()) {
+    bool superset_same_support = false;
+    bool superset_frequent = false;
+    for (const auto& [other, other_support] : all.sorted()) {
+      if (other.size() <= itemset.size()) continue;
+      if (!contains_all(other, itemset)) continue;
+      superset_frequent = true;
+      if (other_support == support) superset_same_support = true;
+    }
+    EXPECT_EQ(closed.contains(itemset), !superset_same_support)
+        << to_string(itemset);
+    EXPECT_EQ(maximal.contains(itemset), !superset_frequent)
+        << to_string(itemset);
+  }
+}
+
+TEST(Condensed, SingleLevelInputIsAllClosedAndMaximal) {
+  FrequentItemsets all(1, 10);
+  all.add({1}, 4);
+  all.add({2}, 7);
+  EXPECT_EQ(closed_itemsets(all).total(), 2u);
+  EXPECT_EQ(maximal_itemsets(all).total(), 2u);
+}
+
+TEST(Condensed, EmptyInput) {
+  FrequentItemsets all(1, 10);
+  EXPECT_EQ(closed_itemsets(all).total(), 0u);
+  EXPECT_EQ(maximal_itemsets(all).total(), 0u);
+}
+
+}  // namespace
+}  // namespace yafim::fim

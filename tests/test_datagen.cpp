@@ -1,0 +1,186 @@
+// Tests for the workload generators: determinism, shape control, and the
+// planted-pattern guarantees the benchmark datasets rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/benchmarks.h"
+#include "datagen/dense.h"
+#include "datagen/medical.h"
+#include "datagen/quest.h"
+#include "fim/apriori_seq.h"
+
+namespace yafim::datagen {
+namespace {
+
+using fim::Itemset;
+
+TEST(Quest, DeterministicForSeed) {
+  QuestParams p;
+  p.num_transactions = 500;
+  p.num_items = 100;
+  p.num_patterns = 20;
+  const auto a = generate_quest(p);
+  const auto b = generate_quest(p);
+  EXPECT_EQ(a.transactions(), b.transactions());
+  p.seed += 1;
+  const auto c = generate_quest(p);
+  EXPECT_NE(a.transactions(), c.transactions());
+}
+
+TEST(Quest, ShapeMatchesParams) {
+  QuestParams p;
+  p.num_transactions = 5000;
+  p.avg_transaction_len = 10.0;
+  p.num_items = 200;
+  p.num_patterns = 50;
+  const auto db = generate_quest(p);
+  const auto stats = db.stats();
+  EXPECT_EQ(stats.num_transactions, 5000u);
+  EXPECT_LE(stats.item_universe, 200u);
+  // Corruption and dedup pull the realised length below target; demand the
+  // right ballpark rather than exact equality.
+  EXPECT_GT(stats.avg_length, 5.0);
+  EXPECT_LT(stats.avg_length, 16.0);
+  for (const auto& t : db.transactions()) {
+    ASSERT_FALSE(t.empty());
+    ASSERT_TRUE(fim::is_canonical(t));
+  }
+}
+
+TEST(Dense, DeterministicForSeed) {
+  DenseSpec spec;
+  spec.num_transactions = 300;
+  spec.attr_values = {3, 3, 4};
+  const auto a = generate_dense(spec);
+  const auto b = generate_dense(spec);
+  EXPECT_EQ(a.transactions(), b.transactions());
+}
+
+TEST(Dense, OneValuePerAttribute) {
+  DenseSpec spec;
+  spec.num_transactions = 200;
+  spec.attr_values = {2, 5, 3};
+  const auto db = generate_dense(spec);
+  for (const auto& t : db.transactions()) {
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_LT(t[0], 2u);
+    EXPECT_GE(t[1], 2u);
+    EXPECT_LT(t[1], 7u);
+    EXPECT_GE(t[2], 7u);
+    EXPECT_LT(t[2], 10u);
+  }
+}
+
+TEST(Dense, DenseItemMapping) {
+  DenseSpec spec;
+  spec.attr_values = {2, 5, 3};
+  EXPECT_EQ(dense_item(spec, 0, 0), 0u);
+  EXPECT_EQ(dense_item(spec, 0, 1), 1u);
+  EXPECT_EQ(dense_item(spec, 1, 0), 2u);
+  EXPECT_EQ(dense_item(spec, 2, 2), 9u);
+  EXPECT_DEATH(dense_item(spec, 3, 0), "attribute");
+  EXPECT_DEATH(dense_item(spec, 1, 5), "value");
+}
+
+TEST(Dense, PlantedPatternReachesTargetSupport) {
+  DenseSpec spec;
+  spec.num_transactions = 5000;
+  spec.attr_values.assign(10, 4);
+  PlantedPattern p;
+  p.prob = 0.4;
+  for (u32 a = 0; a < 5; ++a) p.cells.emplace_back(a, 0);
+  spec.planted.push_back(p);
+  const auto db = generate_dense(spec);
+
+  const Itemset planted = planted_itemset(spec, p);
+  const double observed = static_cast<double>(db.support(planted)) /
+                          static_cast<double>(db.size());
+  // Noise can only add occurrences; sampling noise is tiny at n = 5000.
+  EXPECT_GE(observed, 0.38);
+  EXPECT_LE(observed, 0.55);
+}
+
+TEST(Medical, ClustersAreMinedAsFrequentItemsets) {
+  MedicalParams params;
+  params.num_cases = 5000;
+  const auto data = generate_medical(params);
+  ASSERT_EQ(data.clusters.size(), params.num_clusters);
+
+  fim::AprioriOptions opt;
+  opt.min_support = 0.03;
+  const auto run = fim::apriori_mine(data.db, opt);
+  // The most prevalent clusters must surface in the mined itemsets.
+  for (u32 c = 0; c < 3; ++c) {
+    const double full_support =
+        data.prevalence[c] *
+        std::pow(1.0 - params.dropout, data.clusters[c].size());
+    if (full_support < 0.05) continue;
+    EXPECT_TRUE(run.itemsets.contains(data.clusters[c]))
+        << "cluster " << c << " expected frequent";
+  }
+}
+
+TEST(Medical, CaseShape) {
+  MedicalParams params;
+  params.num_cases = 1000;
+  const auto data = generate_medical(params);
+  EXPECT_EQ(data.db.size(), 1000u);
+  for (const auto& t : data.db.transactions()) {
+    ASSERT_FALSE(t.empty());
+    ASSERT_TRUE(fim::is_canonical(t));
+    for (fim::Item code : t) EXPECT_LT(code, params.num_codes);
+  }
+}
+
+TEST(Benchmarks, TableOneShapes) {
+  // Generated datasets must match the paper's Table I row for #transactions
+  // exactly and #items closely (the itemset universe is constructed).
+  const auto mushroom = make_mushroom();
+  EXPECT_EQ(mushroom.db.size(), 8124u);
+  EXPECT_EQ(mushroom.db.stats().item_universe, 119u);
+  EXPECT_DOUBLE_EQ(mushroom.paper_min_support, 0.35);
+
+  const auto chess = make_chess();
+  EXPECT_EQ(chess.db.size(), 3196u);
+  EXPECT_EQ(chess.db.stats().item_universe, 75u);
+
+  const auto pumsb = make_pumsb_star();
+  EXPECT_EQ(pumsb.db.size(), 49046u);
+  EXPECT_EQ(pumsb.db.stats().item_universe, 2088u);
+  EXPECT_NEAR(pumsb.db.stats().avg_length, 50.0, 0.5);
+}
+
+TEST(Benchmarks, ScaleParameterShrinksDatasets) {
+  const auto small = make_mushroom(0.1);
+  EXPECT_NEAR(static_cast<double>(small.db.size()), 812.0, 1.0);
+}
+
+TEST(Benchmarks, PaperBenchmarksComplete) {
+  const auto benches = make_paper_benchmarks(0.05);
+  ASSERT_EQ(benches.size(), 4u);
+  EXPECT_EQ(benches[0].name, "MushRoom");
+  EXPECT_EQ(benches[1].name, "T10I4D100K");
+  EXPECT_EQ(benches[2].name, "Chess");
+  EXPECT_EQ(benches[3].name, "Pumsb_star");
+  for (const auto& b : benches) {
+    EXPECT_GT(b.db.size(), 0u);
+    EXPECT_GT(b.paper_min_support, 0.0);
+  }
+}
+
+TEST(Benchmarks, MiningDepthMatchesPaperFigures) {
+  // Mushroom at 35% must go ~8 levels deep (Fig. 3a's pass axis); chess at
+  // 85% deeper (Fig. 3c); these shapes are what the figure benches rely on.
+  fim::AprioriOptions opt;
+  const auto mushroom = make_mushroom(0.5);
+  opt.min_support = mushroom.paper_min_support;
+  EXPECT_GE(fim::apriori_mine(mushroom.db, opt).itemsets.max_k(), 7u);
+
+  const auto chess = make_chess(0.5);
+  opt.min_support = chess.paper_min_support;
+  EXPECT_GE(fim::apriori_mine(chess.db, opt).itemsets.max_k(), 10u);
+}
+
+}  // namespace
+}  // namespace yafim::datagen

@@ -1,0 +1,114 @@
+// Cross-engine agreement: FP-Growth and Eclat must produce exactly the
+// itemsets (and supports) the Apriori reference produces -- the repository's
+// independent-oracle check.
+#include <gtest/gtest.h>
+
+#include "fim/apriori_seq.h"
+#include "fim/eclat.h"
+#include "fim/fp_growth.h"
+#include "util/rng.h"
+
+namespace yafim::fim {
+namespace {
+
+TransactionDB random_db(u32 universe, int transactions, double density,
+                        u64 seed) {
+  Rng rng(seed);
+  std::vector<Transaction> tx;
+  for (int i = 0; i < transactions; ++i) {
+    Transaction t;
+    for (u32 item = 0; item < universe; ++item) {
+      if (rng.bernoulli(density)) t.push_back(item);
+    }
+    if (t.empty()) t.push_back(static_cast<Item>(rng.below(universe)));
+    tx.push_back(std::move(t));
+  }
+  return TransactionDB(std::move(tx));
+}
+
+TEST(FpGrowth, HandWorkedExample) {
+  TransactionDB db({{1, 2, 5},
+                    {2, 4},
+                    {2, 3},
+                    {1, 2, 4},
+                    {1, 3},
+                    {2, 3},
+                    {1, 3},
+                    {1, 2, 3, 5},
+                    {1, 2, 3}});
+  const auto run = fp_growth_mine(db, 2.0 / 9.0);
+  EXPECT_EQ(run.itemsets.support_of({2}), 7u);
+  EXPECT_EQ(run.itemsets.support_of({1, 2}), 4u);
+  EXPECT_EQ(run.itemsets.support_of({1, 2, 5}), 2u);
+  EXPECT_EQ(run.itemsets.max_k(), 3u);
+}
+
+TEST(FpGrowth, EmptyAndDegenerate) {
+  EXPECT_EQ(fp_growth_mine(TransactionDB(), 0.5).itemsets.total(), 0u);
+  TransactionDB single(std::vector<Transaction>{{7}});
+  const auto run = fp_growth_mine(single, 1.0);
+  EXPECT_EQ(run.itemsets.total(), 1u);
+  EXPECT_EQ(run.itemsets.support_of({7}), 1u);
+}
+
+TEST(Eclat, HandWorkedExample) {
+  TransactionDB db({{1, 2, 5},
+                    {2, 4},
+                    {2, 3},
+                    {1, 2, 4},
+                    {1, 3},
+                    {2, 3},
+                    {1, 3},
+                    {1, 2, 3, 5},
+                    {1, 2, 3}});
+  const auto run = eclat_mine(db, 2.0 / 9.0);
+  EXPECT_EQ(run.itemsets.support_of({2}), 7u);
+  EXPECT_EQ(run.itemsets.support_of({1, 2}), 4u);
+  EXPECT_EQ(run.itemsets.support_of({1, 2, 5}), 2u);
+}
+
+TEST(Eclat, EmptyAndDegenerate) {
+  EXPECT_EQ(eclat_mine(TransactionDB(), 0.5).itemsets.total(), 0u);
+  TransactionDB single(std::vector<Transaction>{{7}});
+  EXPECT_EQ(eclat_mine(single, 1.0).itemsets.support_of({7}), 1u);
+}
+
+/// Parameterised three-way agreement sweep.
+class EngineAgreementSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, u32>> {};
+
+TEST_P(EngineAgreementSweep, AprioriFpGrowthEclatAgree) {
+  const auto [density, min_support, seed] = GetParam();
+  const auto db = random_db(18, 120, density, seed);
+
+  AprioriOptions opt;
+  opt.min_support = min_support;
+  const auto apriori = apriori_mine(db, opt);
+  const auto fp = fp_growth_mine(db, min_support);
+  const auto eclat = eclat_mine(db, min_support);
+
+  EXPECT_TRUE(apriori.itemsets.same_itemsets(fp.itemsets))
+      << "apriori=" << apriori.itemsets.total()
+      << " fp=" << fp.itemsets.total();
+  EXPECT_TRUE(apriori.itemsets.same_itemsets(eclat.itemsets))
+      << "apriori=" << apriori.itemsets.total()
+      << " eclat=" << eclat.itemsets.total();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineAgreementSweep,
+    ::testing::Combine(::testing::Values(0.15, 0.4, 0.7),
+                       ::testing::Values(0.08, 0.25, 0.5),
+                       ::testing::Values(11u, 22u, 33u, 44u)));
+
+/// Supports reported by every engine must equal the full-scan oracle.
+TEST(EngineAgreement, SupportsMatchOracleScan) {
+  const auto db = random_db(12, 100, 0.45, 55);
+  const auto run = fp_growth_mine(db, 0.2);
+  for (const auto& [itemset, support] : run.itemsets.sorted()) {
+    EXPECT_EQ(support, db.support(itemset)) << to_string(itemset);
+  }
+}
+
+}  // namespace
+}  // namespace yafim::fim

@@ -1,0 +1,160 @@
+// Unit + property tests for the candidate hash tree. The central property:
+// for_each_contained() must report exactly the candidates a linear
+// containment scan reports -- once each -- for every (candidates,
+// transaction) combination.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "fim/candidate_gen.h"
+#include "fim/hash_tree.h"
+#include "util/rng.h"
+
+namespace yafim::fim {
+namespace {
+
+std::multiset<u32> probe_tree(const HashTree& tree, const Transaction& t,
+                              HashTree::Probe& probe) {
+  std::multiset<u32> hits;
+  tree.for_each_contained(t, probe, [&](u32 ci) { hits.insert(ci); });
+  return hits;
+}
+
+std::multiset<u32> probe_linear(const HashTree& tree, const Transaction& t) {
+  std::multiset<u32> hits;
+  tree.for_each_contained_linear(t, [&](u32 ci) { hits.insert(ci); });
+  return hits;
+}
+
+TEST(HashTree, EmptyCandidates) {
+  HashTree tree({});
+  EXPECT_EQ(tree.size(), 0u);
+  HashTree::Probe probe;
+  EXPECT_TRUE(probe_tree(tree, {1, 2, 3}, probe).empty());
+}
+
+TEST(HashTree, SingleCandidate) {
+  HashTree tree({{2, 5}});
+  EXPECT_EQ(tree.k(), 2u);
+  HashTree::Probe probe;
+  EXPECT_EQ(probe_tree(tree, {1, 2, 5, 9}, probe), (std::multiset<u32>{0}));
+  EXPECT_TRUE(probe_tree(tree, {2, 4}, probe).empty());
+  EXPECT_TRUE(probe_tree(tree, {5}, probe).empty());  // shorter than k
+}
+
+TEST(HashTree, CandidateAccessors) {
+  HashTree tree({{1, 2}, {3, 4}});
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_EQ(tree.candidate(0), (Itemset{1, 2}));
+  EXPECT_EQ(tree.candidate(1), (Itemset{3, 4}));
+  EXPECT_EQ(tree.candidates().size(), 2u);
+  EXPECT_GT(tree.serialized_bytes(), 0u);
+  EXPECT_GE(tree.num_leaves(), 1u);
+  EXPECT_GE(tree.num_nodes(), tree.num_leaves());
+}
+
+TEST(HashTree, SplitsUnderLoad) {
+  // 100 candidates with tiny leaves forces interior structure.
+  std::vector<Itemset> candidates;
+  for (u32 a = 0; a < 10; ++a) {
+    for (u32 b = 10; b < 20; ++b) candidates.push_back({a, b});
+  }
+  HashTree tree(candidates, /*branching=*/4, /*leaf_capacity=*/2);
+  EXPECT_GT(tree.num_nodes(), tree.num_leaves());
+
+  HashTree::Probe probe;
+  const Transaction t{0, 1, 11, 12};
+  const auto hits = probe_tree(tree, t, probe);
+  EXPECT_EQ(hits, probe_linear(tree, t));
+  EXPECT_EQ(hits.size(), 4u);  // {0,11},{0,12},{1,11},{1,12}
+}
+
+TEST(HashTree, NoDuplicateReportsWhenHashesCollide) {
+  // Items 3 and 11 collide mod 8; both paths reach the same leaves.
+  std::vector<Itemset> candidates{{3, 11}, {3, 19}, {11, 19}};
+  HashTree tree(candidates, /*branching=*/8, /*leaf_capacity=*/1);
+  HashTree::Probe probe;
+  const auto hits = probe_tree(tree, {3, 11, 19}, probe);
+  EXPECT_EQ(hits.size(), 3u);
+  EXPECT_EQ(std::set<u32>(hits.begin(), hits.end()).size(), 3u);
+}
+
+TEST(HashTree, ProbeReusableAcrossTransactionsAndTrees) {
+  HashTree tree_a({{1, 2}, {2, 3}});
+  HashTree tree_b({{1, 2, 3}, {2, 3, 4}});
+  HashTree::Probe probe;
+  EXPECT_EQ(probe_tree(tree_a, {1, 2, 3}, probe).size(), 2u);
+  EXPECT_EQ(probe_tree(tree_b, {1, 2, 3}, probe).size(), 1u);
+  EXPECT_EQ(probe_tree(tree_a, {2, 3}, probe).size(), 1u);
+  EXPECT_EQ(probe_tree(tree_b, {2, 3, 4, 9}, probe).size(), 1u);
+}
+
+TEST(HashTree, DefaultBranchingScalesWithCandidates) {
+  EXPECT_EQ(HashTree::default_branching(0, 2), 8u);
+  EXPECT_GE(HashTree::default_branching(50000, 2), 400u);
+  EXPECT_LE(HashTree::default_branching(50000, 2), 1024u);
+  EXPECT_EQ(HashTree::default_branching(100, 5), 8u);
+  // Must stay within clamp bounds for extremes.
+  EXPECT_EQ(HashTree::default_branching(u64{1} << 40, 1), 1024u);
+}
+
+TEST(HashTree, MixedSizeCandidatesAbort) {
+  EXPECT_DEATH(HashTree({{1, 2}, {3}}), "equal size");
+}
+
+/// Property sweep over (k, branching, leaf_capacity, seed): tree probing
+/// must agree with the linear scan on random candidate sets and random
+/// transactions, with no duplicates.
+class HashTreeSweep
+    : public ::testing::TestWithParam<std::tuple<u32, u32, u32, u32>> {};
+
+TEST_P(HashTreeSweep, AgreesWithLinearScan) {
+  const auto [k, branching, leaf_capacity, seed] = GetParam();
+  Rng rng(seed * 7919 + k);
+  constexpr u32 kUniverse = 30;
+
+  // Random candidate set of size-k itemsets (k = 1 only has `universe`
+  // possible sets, so cap the target there).
+  std::set<Itemset> unique;
+  const u32 target =
+      k == 1 ? 10 + static_cast<u32>(rng.below(15))
+             : 20 + static_cast<u32>(rng.below(120));
+  while (unique.size() < target) {
+    Itemset c;
+    while (c.size() < k) {
+      const Item item = static_cast<Item>(rng.below(kUniverse));
+      if (std::find(c.begin(), c.end(), item) == c.end()) c.push_back(item);
+    }
+    canonicalize(c);
+    unique.insert(c);
+  }
+  HashTree tree(std::vector<Itemset>(unique.begin(), unique.end()), branching,
+                leaf_capacity);
+
+  HashTree::Probe probe;
+  for (int trial = 0; trial < 40; ++trial) {
+    Transaction t;
+    for (u32 item = 0; item < kUniverse; ++item) {
+      if (rng.bernoulli(0.35)) t.push_back(item);
+    }
+    const auto tree_hits = probe_tree(tree, t, probe);
+    const auto linear_hits = probe_linear(tree, t);
+    ASSERT_EQ(tree_hits, linear_hits)
+        << "k=" << k << " branching=" << branching << " leaf="
+        << leaf_capacity << " trial=" << trial;
+    // No duplicates: multiset == set size.
+    EXPECT_EQ(tree_hits.size(),
+              std::set<u32>(tree_hits.begin(), tree_hits.end()).size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HashTreeSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 5u),
+                       ::testing::Values(2u, 3u, 8u),
+                       ::testing::Values(1u, 4u, 64u),
+                       ::testing::Values(1u, 2u)));
+
+}  // namespace
+}  // namespace yafim::fim

@@ -1,0 +1,177 @@
+// Tests for association-rule generation.
+#include <gtest/gtest.h>
+
+#include "fim/apriori_seq.h"
+#include "fim/rules.h"
+#include "util/rng.h"
+
+namespace yafim::fim {
+namespace {
+
+FrequentItemsets toy_itemsets() {
+  // 10 transactions; sup({1}) = 8, sup({2}) = 5, sup({1,2}) = 4.
+  FrequentItemsets fi(2, 10);
+  fi.add({1}, 8);
+  fi.add({2}, 5);
+  fi.add({1, 2}, 4);
+  return fi;
+}
+
+TEST(Rules, ConfidenceAndLift) {
+  RuleOptions opt;
+  opt.min_confidence = 0.0;
+  const auto rules = generate_rules(toy_itemsets(), opt);
+  ASSERT_EQ(rules.size(), 2u);
+
+  // {2} => {1}: conf 4/5 = 0.8, lift 0.8 / (8/10) = 1.0.
+  const Rule& strong = rules[0];
+  EXPECT_EQ(strong.antecedent, (Itemset{2}));
+  EXPECT_EQ(strong.consequent, (Itemset{1}));
+  EXPECT_DOUBLE_EQ(strong.confidence, 0.8);
+  EXPECT_DOUBLE_EQ(strong.lift, 1.0);
+  EXPECT_EQ(strong.support, 4u);
+
+  // {1} => {2}: conf 4/8 = 0.5, lift 0.5 / 0.5 = 1.0.
+  EXPECT_DOUBLE_EQ(rules[1].confidence, 0.5);
+  EXPECT_DOUBLE_EQ(rules[1].lift, 1.0);
+}
+
+TEST(Rules, MinConfidenceFilters) {
+  RuleOptions opt;
+  opt.min_confidence = 0.6;
+  const auto rules = generate_rules(toy_itemsets(), opt);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].antecedent, (Itemset{2}));
+}
+
+TEST(Rules, ThreeItemsetGeneratesSixRules) {
+  FrequentItemsets fi(1, 10);
+  fi.add({1}, 6);
+  fi.add({2}, 6);
+  fi.add({3}, 6);
+  fi.add({1, 2}, 5);
+  fi.add({1, 3}, 5);
+  fi.add({2, 3}, 5);
+  fi.add({1, 2, 3}, 4);
+  RuleOptions opt;
+  opt.min_confidence = 0.0;
+  const auto rules = generate_rules(fi, opt);
+  // Each 2-set gives 2 rules, the 3-set gives 2^3 - 2 = 6: total 12.
+  EXPECT_EQ(rules.size(), 12u);
+}
+
+TEST(Rules, NoRulesFromSingletonsOnly) {
+  FrequentItemsets fi(1, 10);
+  fi.add({1}, 5);
+  fi.add({2}, 5);
+  RuleOptions opt;
+  EXPECT_TRUE(generate_rules(fi, opt).empty());
+}
+
+TEST(Rules, SortedByConfidenceDescending) {
+  const auto db_rules = [&] {
+    Rng rng(3);
+    std::vector<Transaction> tx;
+    for (int i = 0; i < 100; ++i) {
+      Transaction t;
+      for (u32 item = 0; item < 8; ++item) {
+        if (rng.bernoulli(0.5)) t.push_back(item);
+      }
+      if (t.empty()) t.push_back(0);
+      tx.push_back(std::move(t));
+    }
+    TransactionDB db(std::move(tx));
+    AprioriOptions opt;
+    opt.min_support = 0.2;
+    const auto run = apriori_mine(db, opt);
+    RuleOptions ropt;
+    ropt.min_confidence = 0.3;
+    return generate_rules(run.itemsets, ropt);
+  }();
+  ASSERT_GT(db_rules.size(), 2u);
+  for (size_t i = 1; i < db_rules.size(); ++i) {
+    EXPECT_GE(db_rules[i - 1].confidence, db_rules[i].confidence);
+    EXPECT_GE(db_rules[i].confidence, 0.3);
+  }
+}
+
+TEST(Rules, RuleMetricsAreInternallyConsistent) {
+  Rng rng(9);
+  std::vector<Transaction> tx;
+  for (int i = 0; i < 150; ++i) {
+    Transaction t;
+    for (u32 item = 0; item < 10; ++item) {
+      if (rng.bernoulli(0.4)) t.push_back(item);
+    }
+    if (t.empty()) t.push_back(0);
+    tx.push_back(std::move(t));
+  }
+  TransactionDB db(std::move(tx));
+  AprioriOptions opt;
+  opt.min_support = 0.15;
+  const auto run = apriori_mine(db, opt);
+  RuleOptions ropt;
+  ropt.min_confidence = 0.0;
+  for (const Rule& rule : generate_rules(run.itemsets, ropt)) {
+    Itemset whole = rule.antecedent;
+    whole.insert(whole.end(), rule.consequent.begin(), rule.consequent.end());
+    canonicalize(whole);
+    EXPECT_EQ(rule.support, db.support(whole));
+    EXPECT_DOUBLE_EQ(rule.confidence,
+                     static_cast<double>(rule.support) /
+                         static_cast<double>(db.support(rule.antecedent)));
+    EXPECT_GT(rule.lift, 0.0);
+    EXPECT_LE(rule.confidence, 1.0 + 1e-12);
+  }
+}
+
+TEST(Rules, ParallelMatchesSequentialExactly) {
+  Rng rng(21);
+  std::vector<Transaction> tx;
+  for (int i = 0; i < 200; ++i) {
+    Transaction t;
+    for (u32 item = 0; item < 11; ++item) {
+      if (rng.bernoulli(0.45)) t.push_back(item);
+    }
+    if (t.empty()) t.push_back(0);
+    tx.push_back(std::move(t));
+  }
+  TransactionDB db(std::move(tx));
+  AprioriOptions mine_opt;
+  mine_opt.min_support = 0.2;
+  const auto run = apriori_mine(db, mine_opt);
+
+  RuleOptions ropt;
+  ropt.min_confidence = 0.4;
+  const auto sequential = generate_rules(run.itemsets, ropt);
+
+  engine::Context ctx;
+  const auto parallel = generate_rules_parallel(ctx, run.itemsets, ropt);
+
+  ASSERT_EQ(parallel.size(), sequential.size());
+  for (size_t i = 0; i < parallel.size(); ++i) {
+    EXPECT_EQ(parallel[i].antecedent, sequential[i].antecedent);
+    EXPECT_EQ(parallel[i].consequent, sequential[i].consequent);
+    EXPECT_EQ(parallel[i].support, sequential[i].support);
+    EXPECT_DOUBLE_EQ(parallel[i].confidence, sequential[i].confidence);
+    EXPECT_DOUBLE_EQ(parallel[i].lift, sequential[i].lift);
+  }
+  // The support table travelled by broadcast.
+  EXPECT_GT(ctx.report().total_broadcast_bytes(), 0u);
+}
+
+TEST(Rules, ParallelOnEmptyItemsets) {
+  engine::Context ctx;
+  FrequentItemsets empty(1, 10);
+  RuleOptions ropt;
+  EXPECT_TRUE(generate_rules_parallel(ctx, empty, ropt).empty());
+}
+
+TEST(Rules, MaxItemsetSizeGuard) {
+  RuleOptions opt;
+  opt.max_itemset_size = 40;
+  EXPECT_DEATH(generate_rules(toy_itemsets(), opt), "exponential");
+}
+
+}  // namespace
+}  // namespace yafim::fim

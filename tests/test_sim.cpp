@@ -1,0 +1,264 @@
+// Unit tests for the cluster cost model, LPT makespan scheduler, and the
+// replayable metrics (StageRecord / SimReport pricing).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/cluster.h"
+#include "sim/cost_model.h"
+#include "sim/makespan.h"
+#include "sim/metrics.h"
+#include "util/rng.h"
+
+namespace yafim::sim {
+namespace {
+
+TEST(Cluster, PaperPresetMatchesTestbed) {
+  const ClusterConfig c = ClusterConfig::paper();
+  EXPECT_EQ(c.nodes, 12u);
+  EXPECT_EQ(c.total_cores(), 48u);
+  EXPECT_EQ(c.hdfs_replication, 3u);
+}
+
+TEST(Cluster, WithNodes) {
+  EXPECT_EQ(ClusterConfig::with_nodes(4).total_cores(), 16u);
+  EXPECT_EQ(ClusterConfig::with_nodes(10).total_cores(), 40u);
+}
+
+TEST(CostModel, ComputeScalesLinearly) {
+  const CostModel m{ClusterConfig::paper()};
+  EXPECT_DOUBLE_EQ(m.compute_seconds(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.compute_seconds(2'000'000),
+                   2.0 * m.compute_seconds(1'000'000));
+  EXPECT_NEAR(m.compute_seconds(
+                  static_cast<u64>(CostModel::kWorkUnitsPerSecPerCore)),
+              1.0, 1e-9);
+}
+
+TEST(CostModel, DfsReadUsesAllNodes) {
+  const CostModel m12{ClusterConfig::with_nodes(12)};
+  const CostModel m4{ClusterConfig::with_nodes(4)};
+  const u64 bytes = 1200ull << 20;
+  EXPECT_NEAR(m4.dfs_read_seconds(bytes) / m12.dfs_read_seconds(bytes), 3.0,
+              1e-9);
+}
+
+TEST(CostModel, DfsWriteCostsMoreThanRead) {
+  const CostModel m{ClusterConfig::paper()};
+  const u64 bytes = 100ull << 20;
+  EXPECT_GT(m.dfs_write_seconds(bytes), m.dfs_read_seconds(bytes));
+}
+
+TEST(CostModel, BroadcastBeatsNaiveShippingAtScale) {
+  const CostModel m{ClusterConfig::paper()};
+  const u64 bytes = 10u << 20;
+  // 96 tasks in a stage; naive shipping sends 96 copies through one link.
+  EXPECT_LT(m.broadcast_seconds(bytes), m.naive_ship_seconds(bytes, 96));
+}
+
+TEST(CostModel, ShuffleIsMonotoneInBytes) {
+  const CostModel m{ClusterConfig::paper()};
+  EXPECT_LT(m.shuffle_seconds(1 << 20), m.shuffle_seconds(1 << 24));
+  EXPECT_DOUBLE_EQ(m.shuffle_seconds(0), 0.0);
+}
+
+TEST(Makespan, EmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(lpt_makespan({}, 4), 0.0);
+  const double d[] = {2.5};
+  EXPECT_DOUBLE_EQ(lpt_makespan(d, 4), 2.5);
+}
+
+TEST(Makespan, PerfectSplit) {
+  const double d[] = {1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(lpt_makespan(d, 4), 1.0);
+  EXPECT_DOUBLE_EQ(lpt_makespan(d, 2), 2.0);
+  EXPECT_DOUBLE_EQ(lpt_makespan(d, 1), 4.0);
+}
+
+TEST(Makespan, LongestTaskIsLowerBound) {
+  const double d[] = {5, 1, 1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(lpt_makespan(d, 3), 5.0);
+}
+
+TEST(Makespan, NeverBelowTheoreticalBounds) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> d(1 + rng.below(40));
+    double total = 0, longest = 0;
+    for (double& x : d) {
+      x = rng.uniform() * 10;
+      total += x;
+      longest = std::max(longest, x);
+    }
+    const u32 cores = 1 + static_cast<u32>(rng.below(16));
+    const double ms = lpt_makespan(d, cores);
+    EXPECT_GE(ms + 1e-9, total / cores);
+    EXPECT_GE(ms + 1e-9, longest);
+    // LPT is a 4/3 - 1/(3m) approximation of optimal; optimal is at least
+    // max(total/cores, longest).
+    EXPECT_LE(ms, (4.0 / 3.0) * std::max(total / cores, longest) + 1e-9);
+  }
+}
+
+TEST(Makespan, LoadsSumToTotal) {
+  const double d[] = {3, 1, 4, 1, 5, 9, 2, 6};
+  const auto loads = lpt_loads(d, 3);
+  EXPECT_EQ(loads.size(), 3u);
+  EXPECT_NEAR(std::accumulate(loads.begin(), loads.end(), 0.0), 31.0, 1e-9);
+  EXPECT_DOUBLE_EQ(*std::max_element(loads.begin(), loads.end()),
+                   lpt_makespan(d, 3));
+}
+
+TEST(Metrics, MoreCoresNeverSlower) {
+  StageRecord stage;
+  stage.label = "s";
+  stage.kind = StageKind::kSparkStage;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    stage.tasks.push_back(TaskRecord{rng.below(50'000'000)});
+  }
+  const CostModel m48{ClusterConfig::with_nodes(12)};
+  const CostModel m16{ClusterConfig::with_nodes(4)};
+  EXPECT_LE(stage_seconds(stage, m48), stage_seconds(stage, m16) + 1e-9);
+}
+
+TEST(Metrics, MapPhasePaysJvmLaunch) {
+  StageRecord spark, mr;
+  spark.kind = StageKind::kSparkStage;
+  mr.kind = StageKind::kMapPhase;
+  spark.tasks = mr.tasks = {TaskRecord{1000}};
+  const CostModel m{ClusterConfig::paper()};
+  EXPECT_GT(stage_seconds(mr, m), stage_seconds(spark, m));
+}
+
+TEST(Metrics, OverheadStageIsFixed) {
+  StageRecord s;
+  s.kind = StageKind::kOverhead;
+  s.fixed_overhead_s = 12.0;
+  const CostModel m48{ClusterConfig::with_nodes(12)};
+  const CostModel m16{ClusterConfig::with_nodes(4)};
+  EXPECT_DOUBLE_EQ(stage_seconds(s, m48), 12.0);
+  EXPECT_DOUBLE_EQ(stage_seconds(s, m16), 12.0);
+}
+
+TEST(Metrics, PassSecondsGroupsByTag) {
+  SimReport report;
+  StageRecord a;
+  a.kind = StageKind::kOverhead;
+  a.pass = 0;
+  a.fixed_overhead_s = 1.0;
+  StageRecord b = a;
+  b.pass = 2;
+  b.fixed_overhead_s = 3.0;
+  StageRecord c = a;
+  c.pass = 2;
+  c.fixed_overhead_s = 4.0;
+  report.add(a);
+  report.add(b);
+  report.add(c);
+
+  const CostModel m{ClusterConfig::paper()};
+  const auto by_pass = report.pass_seconds(m);
+  ASSERT_EQ(by_pass.size(), 3u);
+  EXPECT_DOUBLE_EQ(by_pass[0], 1.0);
+  EXPECT_DOUBLE_EQ(by_pass[1], 0.0);
+  EXPECT_DOUBLE_EQ(by_pass[2], 7.0);
+  EXPECT_DOUBLE_EQ(report.total_seconds(m), 8.0);
+}
+
+TEST(Metrics, AggregateCounters) {
+  SimReport report;
+  StageRecord s;
+  s.tasks = {TaskRecord{10}, TaskRecord{20}};
+  s.driver_work = 5;
+  s.shuffle_bytes = 100;
+  s.dfs_read_bytes = 200;
+  s.dfs_write_bytes = 300;
+  s.broadcast_bytes = 400;
+  report.add(s);
+  report.add(s);
+  EXPECT_EQ(report.total_work(), 70u);
+  EXPECT_EQ(report.total_shuffle_bytes(), 200u);
+  EXPECT_EQ(report.total_dfs_read_bytes(), 400u);
+  EXPECT_EQ(report.total_dfs_write_bytes(), 600u);
+  EXPECT_EQ(report.total_broadcast_bytes(), 800u);
+}
+
+TEST(Metrics, FormatReportShowsStages) {
+  SimReport report;
+  StageRecord a;
+  a.label = "phase1:count";
+  a.kind = StageKind::kSparkStage;
+  a.pass = 1;
+  a.tasks = {TaskRecord{100}, TaskRecord{200}};
+  a.shuffle_bytes = 2048;
+  report.add(a);
+  StageRecord b;
+  b.label = "job:startup";
+  b.kind = StageKind::kOverhead;
+  b.fixed_overhead_s = 15.0;
+  report.add(b);
+
+  const std::string text =
+      format_report(report, CostModel{ClusterConfig::paper()});
+  EXPECT_NE(text.find("phase1:count"), std::string::npos);
+  EXPECT_NE(text.find("spark"), std::string::npos);
+  EXPECT_NE(text.find("overhead"), std::string::npos);
+  EXPECT_NE(text.find("2.0 KB"), std::string::npos);
+  EXPECT_NE(text.find("total:"), std::string::npos);
+}
+
+TEST(Metrics, PricingIsDeterministic) {
+  // The launch-overhead jitter is hash-based, so pricing the same record
+  // twice -- or a copy of it -- must give the identical result.
+  StageRecord stage;
+  stage.kind = StageKind::kSparkStage;
+  Rng rng(77);
+  for (int t = 0; t < 50; ++t) {
+    stage.tasks.push_back(TaskRecord{rng.below(1'000'000)});
+  }
+  const CostModel m{ClusterConfig::paper()};
+  const double first = stage_seconds(stage, m);
+  const StageRecord copy = stage;
+  EXPECT_DOUBLE_EQ(stage_seconds(stage, m), first);
+  EXPECT_DOUBLE_EQ(stage_seconds(copy, m), first);
+}
+
+TEST(Metrics, LaunchJitterPreservesScaling) {
+  // 96 identical tasks: jittered launches must spread smoothly, so 40
+  // cores must be strictly faster than 32 (the un-jittered wave model
+  // quantizes them equal).
+  StageRecord stage;
+  stage.kind = StageKind::kSparkStage;
+  stage.tasks.assign(96, TaskRecord{0});
+  ClusterConfig c32 = ClusterConfig::with_nodes(8);
+  ClusterConfig c40 = ClusterConfig::with_nodes(10);
+  EXPECT_LT(stage_seconds(stage, CostModel{c40}),
+            stage_seconds(stage, CostModel{c32}));
+}
+
+/// Replay property: pricing the same record under more nodes is never
+/// slower for pure-compute spark stages (the Fig. 5 premise).
+TEST(Metrics, ReplayScalesAcrossClusters) {
+  SimReport report;
+  Rng rng(31);
+  for (int s = 0; s < 5; ++s) {
+    StageRecord stage;
+    stage.kind = StageKind::kSparkStage;
+    stage.pass = s;
+    for (int t = 0; t < 96; ++t) {
+      stage.tasks.push_back(TaskRecord{rng.below(10'000'000)});
+    }
+    report.add(stage);
+  }
+  double prev = 1e100;
+  for (u32 nodes : {4u, 6u, 8u, 10u, 12u}) {
+    const double t =
+        report.total_seconds(CostModel{ClusterConfig::with_nodes(nodes)});
+    EXPECT_LE(t, prev + 1e-9) << nodes << " nodes";
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace yafim::sim

@@ -1,0 +1,122 @@
+// Unit tests for the simulated HDFS.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "simfs/simfs.h"
+
+namespace yafim::simfs {
+namespace {
+
+std::vector<u8> bytes(std::initializer_list<int> xs) {
+  std::vector<u8> v;
+  for (int x : xs) v.push_back(static_cast<u8>(x));
+  return v;
+}
+
+TEST(SimFS, WriteReadRoundTrip) {
+  SimFS fs(sim::ClusterConfig::paper());
+  const auto payload = bytes({1, 2, 3, 4, 5});
+  fs.write("a/b", payload);
+  EXPECT_TRUE(fs.exists("a/b"));
+  double seconds = -1;
+  EXPECT_EQ(fs.read("a/b", &seconds), payload);
+  EXPECT_GT(seconds, 0.0);
+}
+
+TEST(SimFS, OverwriteReplaces) {
+  SimFS fs(sim::ClusterConfig::paper());
+  fs.write("f", bytes({1}));
+  fs.write("f", bytes({2, 3}));
+  EXPECT_EQ(fs.read("f"), bytes({2, 3}));
+}
+
+TEST(SimFS, MissingFileHandling) {
+  SimFS fs(sim::ClusterConfig::paper());
+  EXPECT_FALSE(fs.exists("nope"));
+  EXPECT_FALSE(fs.stat("nope").has_value());
+  EXPECT_FALSE(fs.remove("nope"));
+  EXPECT_DEATH(fs.read("nope"), "nope");
+}
+
+TEST(SimFS, RemoveWorks) {
+  SimFS fs(sim::ClusterConfig::paper());
+  fs.write("x", bytes({9}));
+  EXPECT_TRUE(fs.remove("x"));
+  EXPECT_FALSE(fs.exists("x"));
+}
+
+TEST(SimFS, StatReportsSizeAndBlocks) {
+  sim::ClusterConfig cluster;
+  cluster.hdfs_block_bytes = 4;
+  SimFS fs(cluster);
+  fs.write("small", bytes({1, 2, 3}));
+  fs.write("exact", bytes({1, 2, 3, 4}));
+  fs.write("big", bytes({1, 2, 3, 4, 5}));
+  EXPECT_EQ(fs.stat("small")->blocks, 1u);
+  EXPECT_EQ(fs.stat("exact")->blocks, 1u);
+  EXPECT_EQ(fs.stat("big")->blocks, 2u);
+  EXPECT_EQ(fs.stat("big")->bytes, 5u);
+}
+
+TEST(SimFS, ListByPrefix) {
+  SimFS fs(sim::ClusterConfig::paper());
+  fs.write("dir/a", {});
+  fs.write("dir/b", {});
+  fs.write("dirx", {});
+  fs.write("other", {});
+  const auto listed = fs.list("dir/");
+  ASSERT_EQ(listed.size(), 2u);
+  EXPECT_EQ(listed[0], "dir/a");
+  EXPECT_EQ(listed[1], "dir/b");
+  EXPECT_EQ(fs.list("").size(), 4u);
+  EXPECT_TRUE(fs.list("zzz").empty());
+}
+
+TEST(SimFS, TrafficCounters) {
+  SimFS fs(sim::ClusterConfig::paper());
+  fs.write("a", std::vector<u8>(100));
+  fs.write("b", std::vector<u8>(50));
+  (void)fs.read("a");
+  (void)fs.read("a");
+  EXPECT_EQ(fs.total_bytes_written(), 150u);
+  EXPECT_EQ(fs.total_bytes_read(), 200u);
+}
+
+TEST(SimFS, WriteCostExceedsReadCost) {
+  SimFS fs(sim::ClusterConfig::paper());
+  const double write_s = fs.write("w", std::vector<u8>(10u << 20));
+  double read_s = 0;
+  (void)fs.read("w", &read_s);
+  EXPECT_GT(write_s, read_s);  // 3x replication + network pipeline
+}
+
+TEST(SimFS, EmptyFile) {
+  SimFS fs(sim::ClusterConfig::paper());
+  fs.write("empty", {});
+  EXPECT_TRUE(fs.read("empty").empty());
+  EXPECT_EQ(fs.stat("empty")->bytes, 0u);
+  EXPECT_EQ(fs.stat("empty")->blocks, 1u);
+}
+
+TEST(SimFS, ConcurrentAccessIsSafe) {
+  SimFS fs(sim::ClusterConfig::paper());
+  fs.write("shared", std::vector<u8>(1000, 7));
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&fs, &failures, t] {
+      for (int i = 0; i < 50; ++i) {
+        if (fs.read("shared").size() != 1000) failures.fetch_add(1);
+        fs.write("private/" + std::to_string(t), std::vector<u8>(10));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(fs.list("private/").size(), 8u);
+}
+
+}  // namespace
+}  // namespace yafim::simfs

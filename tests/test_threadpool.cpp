@@ -1,0 +1,149 @@
+// Unit tests for the host thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "engine/accumulator.h"
+#include "engine/rdd.h"
+#include "engine/thread_pool.h"
+#include "engine/work.h"
+
+namespace yafim::engine {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(257, [&](u32 i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroTasks) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](u32) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughParallelFor) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [](u32 i) {
+                                   if (i == 3) throw std::logic_error("x");
+                                 }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, OnPoolThreadFlag) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(ThreadPool::on_pool_thread());
+  std::atomic<bool> inside{false};
+  pool.submit([&] { inside = ThreadPool::on_pool_thread(); }).get();
+  EXPECT_TRUE(inside.load());
+}
+
+TEST(ThreadPool, SizeDefaultsToHardware) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor must wait for queued work
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(Accumulator, SingleThreaded) {
+  Accumulator acc;
+  EXPECT_EQ(acc.value(), 0u);
+  acc.add(5);
+  acc.add(7);
+  EXPECT_EQ(acc.value(), 12u);
+  acc.reset();
+  EXPECT_EQ(acc.value(), 0u);
+}
+
+TEST(Accumulator, ConcurrentAddsAreExact) {
+  Accumulator acc;
+  ThreadPool pool(8);
+  constexpr int kTasks = 64;
+  constexpr int kAddsPerTask = 10000;
+  pool.parallel_for(kTasks, [&](u32) {
+    for (int i = 0; i < kAddsPerTask; ++i) acc.add(1);
+  });
+  EXPECT_EQ(acc.value(), u64{kTasks} * kAddsPerTask);
+}
+
+TEST(Accumulator, UsableFromRddTasks) {
+  Accumulator pruned;
+  Context ctx{[] {
+    Context::Options opts;
+    opts.cluster = sim::ClusterConfig::with_nodes(2);
+    opts.host_threads = 4;
+    return opts;
+  }()};
+  std::vector<int> data(1000);
+  for (int i = 0; i < 1000; ++i) data[i] = i;
+  const u64 kept = ctx.parallelize(std::move(data), 8)
+                       .filter([&pruned](const int& x) {
+                         if (x % 3 != 0) {
+                           pruned.add(1);
+                           return false;
+                         }
+                         return true;
+                       })
+                       .count();
+  EXPECT_EQ(kept + pruned.value(), 1000u);
+  EXPECT_EQ(pruned.value(), 666u);
+}
+
+TEST(WorkCounter, ScopeIsolatesAndRestores) {
+  work::reset();
+  work::add(5);
+  {
+    work::Scope scope;
+    work::add(7);
+    EXPECT_EQ(scope.measured(), 7u);
+    EXPECT_EQ(work::current(), 7u);
+  }
+  EXPECT_EQ(work::current(), 5u);
+}
+
+TEST(WorkCounter, PerThreadIsolation) {
+  work::reset();
+  work::add(3);
+  ThreadPool pool(1);
+  u64 seen = 99;
+  pool.submit([&] {
+        work::reset();
+        work::add(11);
+        seen = work::current();
+      })
+      .get();
+  EXPECT_EQ(seen, 11u);
+  EXPECT_EQ(work::current(), 3u);
+}
+
+}  // namespace
+}  // namespace yafim::engine

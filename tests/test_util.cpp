@@ -1,0 +1,218 @@
+// Unit tests for the util layer: RNG, tables, byte serialization, logging.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/bytes.h"
+#include "util/log.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace yafim {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const u64 va = a.next();
+    EXPECT_EQ(va, b.next());
+    (void)c.next();
+  }
+  Rng a2(42), c2(43);
+  EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (u64 bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr u64 kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> hist(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) ++hist[rng.below(kBuckets)];
+  for (u64 b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(hist[b], kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(3);
+  std::set<i64> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.range(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(9);
+  for (double mean : {0.5, 2.0, 8.0}) {
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i) sum += rng.poisson(mean);
+    EXPECT_NEAR(sum / 20000, mean, mean * 0.08 + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, SkewedBelowIsSkewedTowardZero) {
+  Rng rng(17);
+  int low = 0, high = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const u64 v = rng.skewed_below(10, 3.0);
+    ASSERT_LT(v, 10u);
+    if (v == 0) ++low;
+    if (v == 9) ++high;
+  }
+  EXPECT_GT(low, 3 * high);
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+  Rng base(21);
+  Rng s1 = base.split(1);
+  Rng s2 = base.split(2);
+  EXPECT_NE(s1.next(), s2.next());
+  // Splitting is deterministic.
+  Rng base2(21);
+  EXPECT_EQ(base2.split(1).next(), Rng(21).split(1).next());
+}
+
+TEST(Mix64, InjectiveOnSmallDomain) {
+  std::set<u64> seen;
+  for (u64 i = 0; i < 10000; ++i) seen.insert(mix64(i));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Table, AsciiAndCsv) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", Table::num(1.5)});
+  t.add_row({"b", Table::num(u64{42})});
+  const std::string ascii = t.to_ascii();
+  EXPECT_NE(ascii.find("alpha"), std::string::npos);
+  EXPECT_NE(ascii.find("1.50"), std::string::npos);
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(csv, "name,value\nalpha,1.50\nb,42\n");
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+}
+
+TEST(Table, NumPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 3), "3.142");
+  EXPECT_EQ(Table::num(3.0, 0), "3");
+}
+
+TEST(Bytes, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.0 KB");
+  EXPECT_EQ(format_bytes(3u << 20), "3.0 MB");
+}
+
+TEST(Bytes, WriterReaderRoundTrip) {
+  ByteWriter w;
+  w.write_u32(7);
+  w.write_u64(1ull << 40);
+  w.write_double(2.5);
+  w.write_string("hello world");
+  w.write_u32_vec({1, 2, 3, 5, 8});
+  const std::vector<u8> data = w.take();
+
+  ByteReader r(data);
+  EXPECT_EQ(r.read_u32(), 7u);
+  EXPECT_EQ(r.read_u64(), 1ull << 40);
+  EXPECT_EQ(r.read_double(), 2.5);
+  EXPECT_EQ(r.read_string(), "hello world");
+  EXPECT_EQ(r.read_u32_vec(), (std::vector<u32>{1, 2, 3, 5, 8}));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, EmptyContainers) {
+  ByteWriter w;
+  w.write_string("");
+  w.write_u32_vec({});
+  ByteReader r(w.data());
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_TRUE(r.read_u32_vec().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, TruncatedInputAborts) {
+  ByteWriter w;
+  w.write_u64(1000);  // claims a long string follows
+  const auto data = w.data();
+  ByteReader r(data);
+  EXPECT_DEATH((void)r.read_string(), "truncated");
+
+  ByteReader r2(std::span<const u8>(data.data(), 3));
+  EXPECT_DEATH((void)r2.read_u64(), "truncated");
+
+  ByteReader r3(data);
+  EXPECT_DEATH((void)r3.read_u32_vec(), "truncated");
+}
+
+TEST(Log, LevelGate) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  log_info("suppressed %d", 1);  // must not crash; output gated
+  set_log_level(saved);
+}
+
+TEST(Stopwatch, MeasuresForwardTime) {
+  Stopwatch sw;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(sw.seconds(), 0.0);
+  const double first = sw.seconds();
+  EXPECT_GE(sw.seconds(), first);
+  sw.reset();
+  EXPECT_LT(sw.seconds(), first + 1.0);
+}
+
+TEST(Common, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 3), 0u);
+  EXPECT_EQ(ceil_div(1, 3), 1u);
+  EXPECT_EQ(ceil_div(3, 3), 1u);
+  EXPECT_EQ(ceil_div(4, 3), 2u);
+}
+
+}  // namespace
+}  // namespace yafim
