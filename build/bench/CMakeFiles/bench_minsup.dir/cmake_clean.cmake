@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_minsup.dir/bench_minsup.cpp.o"
+  "CMakeFiles/bench_minsup.dir/bench_minsup.cpp.o.d"
+  "bench_minsup"
+  "bench_minsup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_minsup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medical_mining.dir/medical_mining.cpp.o"
+  "CMakeFiles/medical_mining.dir/medical_mining.cpp.o.d"
+  "medical_mining"
+  "medical_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medical_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

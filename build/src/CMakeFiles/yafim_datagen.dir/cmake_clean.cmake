@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yafim_datagen.dir/datagen/benchmarks.cpp.o"
+  "CMakeFiles/yafim_datagen.dir/datagen/benchmarks.cpp.o.d"
+  "CMakeFiles/yafim_datagen.dir/datagen/dense.cpp.o"
+  "CMakeFiles/yafim_datagen.dir/datagen/dense.cpp.o.d"
+  "CMakeFiles/yafim_datagen.dir/datagen/medical.cpp.o"
+  "CMakeFiles/yafim_datagen.dir/datagen/medical.cpp.o.d"
+  "CMakeFiles/yafim_datagen.dir/datagen/quest.cpp.o"
+  "CMakeFiles/yafim_datagen.dir/datagen/quest.cpp.o.d"
+  "libyafim_datagen.a"
+  "libyafim_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yafim_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/context.cpp" "src/CMakeFiles/yafim_engine.dir/engine/context.cpp.o" "gcc" "src/CMakeFiles/yafim_engine.dir/engine/context.cpp.o.d"
+  "/root/repo/src/engine/fault.cpp" "src/CMakeFiles/yafim_engine.dir/engine/fault.cpp.o" "gcc" "src/CMakeFiles/yafim_engine.dir/engine/fault.cpp.o.d"
+  "/root/repo/src/engine/thread_pool.cpp" "src/CMakeFiles/yafim_engine.dir/engine/thread_pool.cpp.o" "gcc" "src/CMakeFiles/yafim_engine.dir/engine/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/yafim_simfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/yafim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/yafim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

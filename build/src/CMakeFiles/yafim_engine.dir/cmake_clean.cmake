@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yafim_engine.dir/engine/context.cpp.o"
+  "CMakeFiles/yafim_engine.dir/engine/context.cpp.o.d"
+  "CMakeFiles/yafim_engine.dir/engine/fault.cpp.o"
+  "CMakeFiles/yafim_engine.dir/engine/fault.cpp.o.d"
+  "CMakeFiles/yafim_engine.dir/engine/thread_pool.cpp.o"
+  "CMakeFiles/yafim_engine.dir/engine/thread_pool.cpp.o.d"
+  "libyafim_engine.a"
+  "libyafim_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yafim_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libyafim_engine.a"
+)

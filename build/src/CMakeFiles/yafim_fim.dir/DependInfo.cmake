@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fim/apriori_seq.cpp" "src/CMakeFiles/yafim_fim.dir/fim/apriori_seq.cpp.o" "gcc" "src/CMakeFiles/yafim_fim.dir/fim/apriori_seq.cpp.o.d"
+  "/root/repo/src/fim/big_fim.cpp" "src/CMakeFiles/yafim_fim.dir/fim/big_fim.cpp.o" "gcc" "src/CMakeFiles/yafim_fim.dir/fim/big_fim.cpp.o.d"
+  "/root/repo/src/fim/candidate_gen.cpp" "src/CMakeFiles/yafim_fim.dir/fim/candidate_gen.cpp.o" "gcc" "src/CMakeFiles/yafim_fim.dir/fim/candidate_gen.cpp.o.d"
+  "/root/repo/src/fim/condensed.cpp" "src/CMakeFiles/yafim_fim.dir/fim/condensed.cpp.o" "gcc" "src/CMakeFiles/yafim_fim.dir/fim/condensed.cpp.o.d"
+  "/root/repo/src/fim/dataset.cpp" "src/CMakeFiles/yafim_fim.dir/fim/dataset.cpp.o" "gcc" "src/CMakeFiles/yafim_fim.dir/fim/dataset.cpp.o.d"
+  "/root/repo/src/fim/dist_eclat.cpp" "src/CMakeFiles/yafim_fim.dir/fim/dist_eclat.cpp.o" "gcc" "src/CMakeFiles/yafim_fim.dir/fim/dist_eclat.cpp.o.d"
+  "/root/repo/src/fim/eclat.cpp" "src/CMakeFiles/yafim_fim.dir/fim/eclat.cpp.o" "gcc" "src/CMakeFiles/yafim_fim.dir/fim/eclat.cpp.o.d"
+  "/root/repo/src/fim/fp_growth.cpp" "src/CMakeFiles/yafim_fim.dir/fim/fp_growth.cpp.o" "gcc" "src/CMakeFiles/yafim_fim.dir/fim/fp_growth.cpp.o.d"
+  "/root/repo/src/fim/fp_tree.cpp" "src/CMakeFiles/yafim_fim.dir/fim/fp_tree.cpp.o" "gcc" "src/CMakeFiles/yafim_fim.dir/fim/fp_tree.cpp.o.d"
+  "/root/repo/src/fim/hash_tree.cpp" "src/CMakeFiles/yafim_fim.dir/fim/hash_tree.cpp.o" "gcc" "src/CMakeFiles/yafim_fim.dir/fim/hash_tree.cpp.o.d"
+  "/root/repo/src/fim/itemset.cpp" "src/CMakeFiles/yafim_fim.dir/fim/itemset.cpp.o" "gcc" "src/CMakeFiles/yafim_fim.dir/fim/itemset.cpp.o.d"
+  "/root/repo/src/fim/mr_apriori.cpp" "src/CMakeFiles/yafim_fim.dir/fim/mr_apriori.cpp.o" "gcc" "src/CMakeFiles/yafim_fim.dir/fim/mr_apriori.cpp.o.d"
+  "/root/repo/src/fim/pfp.cpp" "src/CMakeFiles/yafim_fim.dir/fim/pfp.cpp.o" "gcc" "src/CMakeFiles/yafim_fim.dir/fim/pfp.cpp.o.d"
+  "/root/repo/src/fim/result.cpp" "src/CMakeFiles/yafim_fim.dir/fim/result.cpp.o" "gcc" "src/CMakeFiles/yafim_fim.dir/fim/result.cpp.o.d"
+  "/root/repo/src/fim/rules.cpp" "src/CMakeFiles/yafim_fim.dir/fim/rules.cpp.o" "gcc" "src/CMakeFiles/yafim_fim.dir/fim/rules.cpp.o.d"
+  "/root/repo/src/fim/son.cpp" "src/CMakeFiles/yafim_fim.dir/fim/son.cpp.o" "gcc" "src/CMakeFiles/yafim_fim.dir/fim/son.cpp.o.d"
+  "/root/repo/src/fim/spc_fpc_dpc.cpp" "src/CMakeFiles/yafim_fim.dir/fim/spc_fpc_dpc.cpp.o" "gcc" "src/CMakeFiles/yafim_fim.dir/fim/spc_fpc_dpc.cpp.o.d"
+  "/root/repo/src/fim/yafim.cpp" "src/CMakeFiles/yafim_fim.dir/fim/yafim.cpp.o" "gcc" "src/CMakeFiles/yafim_fim.dir/fim/yafim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/yafim_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/yafim_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/yafim_simfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/yafim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/yafim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

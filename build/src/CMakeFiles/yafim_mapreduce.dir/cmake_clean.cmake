@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yafim_mapreduce.dir/mapreduce/runner.cpp.o"
+  "CMakeFiles/yafim_mapreduce.dir/mapreduce/runner.cpp.o.d"
+  "libyafim_mapreduce.a"
+  "libyafim_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yafim_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

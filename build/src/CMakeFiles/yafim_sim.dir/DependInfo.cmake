@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cpp" "src/CMakeFiles/yafim_sim.dir/sim/cost_model.cpp.o" "gcc" "src/CMakeFiles/yafim_sim.dir/sim/cost_model.cpp.o.d"
+  "/root/repo/src/sim/makespan.cpp" "src/CMakeFiles/yafim_sim.dir/sim/makespan.cpp.o" "gcc" "src/CMakeFiles/yafim_sim.dir/sim/makespan.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/yafim_sim.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/yafim_sim.dir/sim/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/yafim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

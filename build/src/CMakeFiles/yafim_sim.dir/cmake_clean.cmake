@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yafim_sim.dir/sim/cost_model.cpp.o"
+  "CMakeFiles/yafim_sim.dir/sim/cost_model.cpp.o.d"
+  "CMakeFiles/yafim_sim.dir/sim/makespan.cpp.o"
+  "CMakeFiles/yafim_sim.dir/sim/makespan.cpp.o.d"
+  "CMakeFiles/yafim_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/yafim_sim.dir/sim/metrics.cpp.o.d"
+  "libyafim_sim.a"
+  "libyafim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yafim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

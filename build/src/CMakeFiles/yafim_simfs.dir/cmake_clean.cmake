@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yafim_simfs.dir/simfs/simfs.cpp.o"
+  "CMakeFiles/yafim_simfs.dir/simfs/simfs.cpp.o.d"
+  "libyafim_simfs.a"
+  "libyafim_simfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yafim_simfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yafim_util.dir/util/bytes.cpp.o"
+  "CMakeFiles/yafim_util.dir/util/bytes.cpp.o.d"
+  "CMakeFiles/yafim_util.dir/util/log.cpp.o"
+  "CMakeFiles/yafim_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/yafim_util.dir/util/table.cpp.o"
+  "CMakeFiles/yafim_util.dir/util/table.cpp.o.d"
+  "libyafim_util.a"
+  "libyafim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yafim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apriori_seq.dir/test_apriori_seq.cpp.o"
+  "CMakeFiles/test_apriori_seq.dir/test_apriori_seq.cpp.o.d"
+  "test_apriori_seq"
+  "test_apriori_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apriori_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

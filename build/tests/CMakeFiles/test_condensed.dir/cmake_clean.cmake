@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_condensed.dir/test_condensed.cpp.o"
+  "CMakeFiles/test_condensed.dir/test_condensed.cpp.o.d"
+  "test_condensed"
+  "test_condensed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_condensed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

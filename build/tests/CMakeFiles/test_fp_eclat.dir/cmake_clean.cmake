@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fp_eclat.dir/test_fp_eclat.cpp.o"
+  "CMakeFiles/test_fp_eclat.dir/test_fp_eclat.cpp.o.d"
+  "test_fp_eclat"
+  "test_fp_eclat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fp_eclat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hash_tree.dir/test_hash_tree.cpp.o"
+  "CMakeFiles/test_hash_tree.dir/test_hash_tree.cpp.o.d"
+  "test_hash_tree"
+  "test_hash_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hash_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_itemset.dir/test_itemset.cpp.o"
+  "CMakeFiles/test_itemset.dir/test_itemset.cpp.o.d"
+  "test_itemset"
+  "test_itemset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_itemset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

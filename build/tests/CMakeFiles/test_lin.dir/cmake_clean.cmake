@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lin.dir/test_lin.cpp.o"
+  "CMakeFiles/test_lin.dir/test_lin.cpp.o.d"
+  "test_lin"
+  "test_lin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mr_apriori.dir/test_mr_apriori.cpp.o"
+  "CMakeFiles/test_mr_apriori.dir/test_mr_apriori.cpp.o.d"
+  "test_mr_apriori"
+  "test_mr_apriori.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mr_apriori.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

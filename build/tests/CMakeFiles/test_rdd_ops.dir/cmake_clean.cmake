@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rdd_ops.dir/test_rdd_ops.cpp.o"
+  "CMakeFiles/test_rdd_ops.dir/test_rdd_ops.cpp.o.d"
+  "test_rdd_ops"
+  "test_rdd_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rdd_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

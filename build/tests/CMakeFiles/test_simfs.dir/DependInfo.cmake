@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_simfs.cpp" "tests/CMakeFiles/test_simfs.dir/test_simfs.cpp.o" "gcc" "tests/CMakeFiles/test_simfs.dir/test_simfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/yafim_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/yafim_fim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/yafim_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/yafim_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/yafim_simfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/yafim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/yafim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simfs.dir/test_simfs.cpp.o"
+  "CMakeFiles/test_simfs.dir/test_simfs.cpp.o.d"
+  "test_simfs"
+  "test_simfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

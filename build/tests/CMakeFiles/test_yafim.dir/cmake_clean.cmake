@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_yafim.dir/test_yafim.cpp.o"
+  "CMakeFiles/test_yafim.dir/test_yafim.cpp.o.d"
+  "test_yafim"
+  "test_yafim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_yafim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
