@@ -22,6 +22,9 @@ int main(int argc, char** argv) {
               "(12 nodes x 4 cores, scale=%.2f) ==\n\n",
               args.scale);
 
+  BenchJson json;
+  json.note("bench", "fig3");
+  json.note("scale", std::to_string(args.scale));
   double speedup_sum = 0.0;
   u32 speedup_count = 0;
   const char subfig[] = {'a', 'b', 'c', 'd'};
@@ -46,12 +49,15 @@ int main(int argc, char** argv) {
                      Table::num(y.frequent), Table::num(y.sim_seconds),
                      Table::num(m.sim_seconds),
                      Table::num(m.sim_seconds / y.sim_seconds, 1) + "x"});
+      json.add(bench.name + ":yafim_s", double(y.k), y.sim_seconds);
+      json.add(bench.name + ":mrapriori_s", double(m.k), m.sim_seconds);
     }
     print_table(table, args);
 
     const double y_total = yafim_run.total_seconds();
     const double m_total = mr_run.total_seconds();
     const double speedup = m_total / y_total;
+    json.add("total_speedup", double(i), speedup);
     speedup_sum += speedup;
     ++speedup_count;
     const auto& y_last = yafim_run.passes[passes - 1];
@@ -66,5 +72,6 @@ int main(int argc, char** argv) {
   std::printf("average speedup across benchmarks: %.1fx "
               "(paper reports ~18x)\n",
               speedup_sum / speedup_count);
+  finish(args, &json);
   return 0;
 }

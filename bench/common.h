@@ -12,11 +12,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "datagen/benchmarks.h"
 #include "engine/context.h"
 #include "fim/mr_apriori.h"
 #include "fim/yafim.h"
+#include "obs/trace.h"
 #include "simfs/simfs.h"
 #include "util/log.h"
 #include "util/table.h"
@@ -26,6 +29,10 @@ namespace yafim::benchharness {
 struct Args {
   double scale = 1.0;
   bool csv = false;
+  /// Write machine-readable results (series of x/y points) here.
+  std::string json_out;
+  /// Record wall-clock tracing and write Chrome trace-event JSON here.
+  std::string trace_out;
 };
 
 inline Args parse_args(int argc, char** argv, double default_scale = 1.0) {
@@ -37,16 +44,108 @@ inline Args parse_args(int argc, char** argv, double default_scale = 1.0) {
       YAFIM_CHECK(args.scale > 0.0, "--scale must be positive");
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       args.csv = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      args.json_out = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      args.trace_out = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--benchmark", 11) == 0) {
       // Tolerate google-benchmark-style flags so `for b in bench/*` sweeps
       // can pass uniform flags.
     } else {
-      std::fprintf(stderr, "usage: %s [--scale=F] [--csv]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--scale=F] [--csv] [--json=FILE] "
+                   "[--trace=FILE]\n",
+                   argv[0]);
       std::exit(2);
     }
   }
+  if (!args.trace_out.empty()) {
+    obs::Tracer::instance().reset();
+    obs::Tracer::instance().start();
+    obs::Tracer::instance().set_thread_name("driver");
+  }
   set_log_level(LogLevel::kWarn);
   return args;
+}
+
+/// Machine-readable bench output: named series of (x, y) points plus string
+/// metadata, written as one JSON object (BENCH_*.json CI artifacts).
+class BenchJson {
+ public:
+  void note(std::string key, std::string value) {
+    notes_.emplace_back(std::move(key), std::move(value));
+  }
+  void add(const std::string& series, double x, double y) {
+    for (auto& [name, points] : series_) {
+      if (name == series) {
+        points.emplace_back(x, y);
+        return;
+      }
+    }
+    series_.emplace_back(series,
+                         std::vector<std::pair<double, double>>{{x, y}});
+  }
+
+  std::string to_json() const {
+    auto escape = [](const std::string& s) {
+      std::string out;
+      for (char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+      }
+      return out;
+    };
+    std::string out = "{\n";
+    for (const auto& [key, value] : notes_) {
+      out += "  \"" + escape(key) + "\": \"" + escape(value) + "\",\n";
+    }
+    out += "  \"series\": {";
+    char buf[64];
+    for (size_t s = 0; s < series_.size(); ++s) {
+      out += s ? ",\n    \"" : "\n    \"";
+      out += escape(series_[s].first) + "\": [";
+      const auto& points = series_[s].second;
+      for (size_t i = 0; i < points.size(); ++i) {
+        std::snprintf(buf, sizeof(buf), "%s[%.17g,%.17g]", i ? "," : "",
+                      points[i].first, points[i].second);
+        out += buf;
+      }
+      out += "]";
+    }
+    out += "\n  }\n}\n";
+    return out;
+  }
+
+  bool write(const std::string& path) const {
+    const std::string json = to_json();
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (!f) return false;
+    const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    const int close_rc = std::fclose(f);
+    return written == json.size() && close_rc == 0;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> notes_;
+  std::vector<std::pair<std::string, std::vector<std::pair<double, double>>>>
+      series_;
+};
+
+/// Flush --json / --trace outputs (and the trace summary table) at the end
+/// of a harness run.
+inline void finish(const Args& args, const BenchJson* json = nullptr) {
+  if (json && !args.json_out.empty()) {
+    YAFIM_CHECK(json->write(args.json_out), "cannot write --json file");
+    std::printf("# results written to %s\n", args.json_out.c_str());
+  }
+  if (!args.trace_out.empty()) {
+    obs::Tracer& tracer = obs::Tracer::instance();
+    tracer.stop();
+    YAFIM_CHECK(tracer.write_chrome_json(args.trace_out),
+                "cannot write --trace file");
+    std::fputs(tracer.summary().c_str(), stdout);
+    std::printf("# trace written to %s\n", args.trace_out.c_str());
+  }
 }
 
 inline void print_table(const Table& table, const Args& args) {

@@ -7,10 +7,14 @@
 //
 //   $ ./examples/mine_cli --input=data.txt --minsup=0.35 --engine=yafim
 //   $ ./examples/mine_cli --generate=mushroom --minsup=0.35 --rules=0.8
+//   $ ./examples/mine_cli --trace out.json   # wall-clock Chrome trace
 //
 // Engines: yafim (default), mrapriori, apriori, fpgrowth, eclat.
 // Without --input, --generate picks a built-in benchmark dataset
 // (mushroom | t10 | chess | pumsb | medical).
+// --trace FILE records wall-clock spans (stages, tasks, YAFIM passes) and
+// counters, writes them as Chrome trace-event JSON (open in chrome://tracing
+// or https://ui.perfetto.dev), and prints the per-stage summary table.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -24,6 +28,7 @@
 #include "fim/mr_apriori.h"
 #include "fim/rules.h"
 #include "fim/yafim.h"
+#include "obs/trace.h"
 #include "util/log.h"
 #include "util/stopwatch.h"
 
@@ -41,6 +46,8 @@ struct Options {
   bool quiet = false;
   /// Print the per-stage simulated-cost breakdown (parallel engines only).
   bool stages = false;
+  /// Write a Chrome trace-event JSON of the run's wall-clock spans here.
+  std::string trace_out;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -49,7 +56,11 @@ struct Options {
       "usage: %s [--input=FILE | --generate=NAME] [--minsup=F]\n"
       "          [--engine=yafim|mrapriori|apriori|fpgrowth|eclat]\n"
       "          [--rules=MIN_CONF] [--top=N] [--quiet] [--stages]\n"
-      "generate names: mushroom t10 chess pumsb medical\n",
+      "          [--trace FILE]\n"
+      "generate names: mushroom t10 chess pumsb medical\n"
+      "--trace FILE: write wall-clock spans + counters as Chrome\n"
+      "  trace-event JSON (chrome://tracing, Perfetto) and print the\n"
+      "  per-stage summary table\n",
       argv0);
   std::exit(2);
 }
@@ -77,6 +88,10 @@ Options parse(int argc, char** argv) {
       opt.quiet = true;
     } else if (arg == "--stages") {
       opt.stages = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      opt.trace_out = value("--trace=");
+    } else if (arg == "--trace" && i + 1 < argc) {
+      opt.trace_out = argv[++i];
     } else {
       usage(argv[0]);
     }
@@ -131,6 +146,13 @@ int main(int argc, char** argv) {
                 opt.engine.c_str());
   }
 
+  const bool tracing = !opt.trace_out.empty();
+  if (tracing) {
+    obs::Tracer::instance().reset();
+    obs::Tracer::instance().start();
+    obs::Tracer::instance().set_thread_name("driver");
+  }
+
   Stopwatch wall;
   fim::MiningRun run;
   double sim_seconds = -1.0;
@@ -162,6 +184,21 @@ int main(int argc, char** argv) {
     run = fim::eclat_mine(db, opt.minsup);
   } else {
     usage(argv[0]);
+  }
+
+  if (tracing) {
+    obs::Tracer::instance().stop();
+    if (!obs::Tracer::instance().write_chrome_json(opt.trace_out)) {
+      std::fprintf(stderr, "cannot write --trace file %s\n",
+                   opt.trace_out.c_str());
+      return 1;
+    }
+    std::fputs(obs::Tracer::instance().summary().c_str(), stdout);
+    if (!opt.quiet) {
+      std::printf("# trace written to %s (open in chrome://tracing or "
+                  "https://ui.perfetto.dev)\n",
+                  opt.trace_out.c_str());
+    }
   }
 
   if (!opt.quiet) {

@@ -1,6 +1,9 @@
 #include "engine/context.h"
 
+#include <optional>
+
 #include "engine/work.h"
+#include "obs/trace.h"
 
 namespace yafim::engine {
 
@@ -11,7 +14,10 @@ Context::Context(Options opts)
       fault_(opts.cluster.nodes),
       default_partitions_(opts.default_partitions
                               ? opts.default_partitions
-                              : 2 * opts.cluster.total_cores()) {}
+                              : 2 * opts.cluster.total_cores()) {
+  // Stages are launched from the constructing thread; name it in traces.
+  obs::Tracer::instance().set_thread_name("driver");
+}
 
 void Context::run_stage(const std::string& label, u32 ntasks,
                         const std::function<void(u32)>& body) {
@@ -20,14 +26,22 @@ void Context::run_stage(const std::string& label, u32 ntasks,
 }
 
 std::vector<sim::TaskRecord> Context::measure_tasks(
-    u32 ntasks, const std::function<void(u32)>& body) {
+    const std::string& label, u32 ntasks,
+    const std::function<void(u32)>& body) {
   YAFIM_CHECK(!ThreadPool::on_pool_thread(),
               "stages must be launched from the driver thread");
+  const bool traced = obs::enabled();
   std::vector<sim::TaskRecord> tasks(ntasks);
   pool_.parallel_for(ntasks, [&](u32 i) {
+    std::optional<obs::Span> span;
+    if (traced) {
+      span.emplace("task", label);
+      span->arg("index", i);
+    }
     work::Scope scope;
     body(i);
     tasks[i].work = scope.measured();
+    if (span) span->arg("work", tasks[i].work);
   });
   return tasks;
 }
@@ -35,7 +49,14 @@ std::vector<sim::TaskRecord> Context::measure_tasks(
 void Context::run_stage_with_shuffle(const std::string& label, u32 ntasks,
                                      const std::function<void(u32)>& body,
                                      const std::atomic<u64>& shuffle_bytes) {
-  std::vector<sim::TaskRecord> tasks = measure_tasks(ntasks, body);
+  std::optional<obs::Span> span;
+  if (obs::enabled()) {
+    span.emplace("stage", label);
+    span->arg("ntasks", ntasks);
+    if (pass_) span->arg("pass", pass_);
+  }
+
+  std::vector<sim::TaskRecord> tasks = measure_tasks(label, ntasks, body);
 
   sim::StageRecord record;
   record.label = label;
@@ -51,12 +72,36 @@ void Context::run_stage_with_shuffle(const std::string& label, u32 ntasks,
     }
     pending_broadcast_ = 0;
   }
+  if (span) {
+    if (record.shuffle_bytes) span->arg("shuffle_bytes", record.shuffle_bytes);
+    if (record.broadcast_bytes) {
+      span->arg("broadcast_bytes", record.broadcast_bytes);
+    }
+    u64 total_work = 0;
+    for (const sim::TaskRecord& t : record.tasks) total_work += t.work;
+    span->arg("work", total_work);
+    span->end();  // before record() drains, so this stage is included
+  }
   this->record(std::move(record));
 }
 
 void Context::record(sim::StageRecord record) {
-  std::lock_guard<std::mutex> lock(report_mutex_);
-  report_.add(std::move(record));
+  if (obs::enabled()) {
+    // Mirror the StageRecord's byte accounting into the wall-clock counter
+    // registry off the very same record, so SimReport totals and traced
+    // counters agree by construction.
+    obs::count(obs::CounterId::kShuffleBytes, record.shuffle_bytes);
+    obs::count(obs::CounterId::kBroadcastBytes, record.broadcast_bytes);
+    obs::count(obs::CounterId::kNaiveShipBytes, record.naive_ship_bytes);
+    obs::count(obs::CounterId::kDfsReadBytes, record.dfs_read_bytes);
+    obs::count(obs::CounterId::kDfsWriteBytes, record.dfs_write_bytes);
+  }
+  {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    report_.add(std::move(record));
+  }
+  // Stage/action boundary: collect what the worker threads buffered.
+  if (obs::enabled()) obs::Tracer::instance().drain();
 }
 
 }  // namespace yafim::engine

@@ -96,8 +96,10 @@ class Context {
   /// Execute `body(0..ntasks-1)` on the pool and return the measured
   /// per-task work, without recording a stage. Building block for
   /// substrates (e.g. MapReduce) that assemble their own StageRecords.
+  /// `label` names the per-task wall-clock spans when tracing is on.
   std::vector<sim::TaskRecord> measure_tasks(
-      u32 ntasks, const std::function<void(u32)>& body);
+      const std::string& label, u32 ntasks,
+      const std::function<void(u32)>& body);
 
   /// Record driver-side/overhead cost (initial DFS load, candidate
   /// generation, MR job startup).

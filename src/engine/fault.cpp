@@ -1,5 +1,7 @@
 #include "engine/fault.h"
 
+#include "obs/trace.h"
+
 namespace yafim::engine {
 
 void FaultInjector::register_holder(CacheHolder* holder) {
@@ -21,7 +23,13 @@ bool FaultInjector::fail_partition(u32 rdd_id, u32 partition) {
     if (it == holders_.end()) return false;
     holder = it->second;
   }
-  return holder->drop_cached(partition);
+  const bool dropped = holder->drop_cached(partition);
+  if (dropped) {
+    obs::count(obs::CounterId::kFaultPartitionsDropped);
+    obs::instant("fault", "fail_partition",
+                 {{"rdd", rdd_id}, {"partition", partition}});
+  }
+  return dropped;
 }
 
 u64 FaultInjector::kill_executor(u32 node) {
@@ -38,6 +46,9 @@ u64 FaultInjector::kill_executor(u32 node) {
       if (holder->drop_cached(p)) ++lost;
     }
   }
+  obs::count(obs::CounterId::kFaultPartitionsDropped, lost);
+  obs::instant("fault", "kill_executor",
+               {{"node", node}, {"partitions_lost", lost}});
   return lost;
 }
 

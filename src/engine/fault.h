@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/cluster.h"
 #include "util/common.h"
 
@@ -55,6 +56,7 @@ class FaultInjector {
   }
   void note_recomputation() {
     recomputations_.fetch_add(1, std::memory_order_relaxed);
+    obs::count(obs::CounterId::kLineageRecomputes);
   }
 
  private:

@@ -28,6 +28,7 @@
 #include "engine/bytes_of.h"
 #include "engine/context.h"
 #include "engine/work.h"
+#include "obs/metrics.h"
 #include "simfs/simfs.h"
 #include "util/rng.h"
 
@@ -95,12 +96,16 @@ class Node : public CacheHolder {
     YAFIM_DCHECK(pid < nparts_, "partition out of range");
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (persisted_ && cache_[pid]) return cache_[pid];
+      if (persisted_ && cache_[pid]) {
+        obs::count(obs::CounterId::kCacheHits);
+        return cache_[pid];
+      }
     }
     auto data = std::make_shared<const std::vector<T>>(compute(pid));
     std::lock_guard<std::mutex> lock(mutex_);
     if (!persisted_) return data;
     if (!cache_[pid]) {
+      obs::count(obs::CounterId::kCacheMisses);
       // A re-fill after a drop is a lineage recomputation (fault recovery).
       if (ever_cached_[pid]) ctx_.fault_injector().note_recomputation();
       cache_[pid] = std::move(data);

@@ -1,5 +1,7 @@
 #include "engine/thread_pool.h"
 
+#include "obs/trace.h"
+
 namespace yafim::engine {
 
 namespace {
@@ -14,7 +16,7 @@ ThreadPool::ThreadPool(u32 threads) {
   }
   workers_.reserve(threads);
   for (u32 i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -28,6 +30,20 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  if (obs::enabled()) {
+    // Split each task's latency into queue wait vs run time; the gap
+    // between the two is scheduling pressure (more tasks than threads).
+    fn = [fn = std::move(fn),
+          enqueued_us = obs::Tracer::instance().now_us()] {
+      obs::Tracer& tracer = obs::Tracer::instance();
+      const u64 started_us = tracer.now_us();
+      obs::count(obs::CounterId::kPoolQueueWaitUs, started_us - enqueued_us);
+      fn();
+      obs::count(obs::CounterId::kPoolTaskRunUs,
+                 tracer.now_us() - started_us);
+      obs::count(obs::CounterId::kPoolTasks, 1);
+    };
+  }
   std::packaged_task<void()> task(std::move(fn));
   std::future<void> future = task.get_future();
   {
@@ -51,8 +67,9 @@ void ThreadPool::parallel_for(u32 n, const std::function<void(u32)>& f) {
   for (auto& fut : futures) fut.get();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(u32 index) {
   t_on_pool_thread = true;
+  obs::Tracer::instance().set_thread_name("pool-" + std::to_string(index));
   for (;;) {
     std::packaged_task<void()> task;
     {

@@ -41,7 +41,7 @@ class ThreadPool {
   static bool on_pool_thread();
 
  private:
-  void worker_loop();
+  void worker_loop(u32 index);
 
   std::mutex mutex_;
   std::condition_variable cv_;

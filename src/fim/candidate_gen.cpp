@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "engine/work.h"
+#include "obs/metrics.h"
 
 namespace yafim::fim {
 
@@ -39,6 +40,7 @@ std::vector<Itemset> apriori_gen(const std::vector<Itemset>& prev_frequent,
   for (const Itemset& s : sorted) prev_set.emplace(s, 1);
 
   std::vector<Itemset> candidates;
+  u64 pruned = 0;
   // Self-join: a and b share their first k-2 items and a < b lexic.; since
   // `sorted` is lexicographic, the joinable partners of sorted[i] form a
   // contiguous run starting at i+1.
@@ -54,9 +56,13 @@ std::vector<Itemset> apriori_gen(const std::vector<Itemset>& prev_frequent,
       YAFIM_DCHECK(is_canonical(candidate), "join produced non-canonical set");
       if (k == 2 || all_subsets_present(candidate, prev_set)) {
         candidates.push_back(std::move(candidate));
+      } else {
+        ++pruned;
       }
     }
   }
+  obs::count(obs::CounterId::kCandidatesGenerated, candidates.size());
+  obs::count(obs::CounterId::kCandidatesPruned, pruned);
   // The join over a sorted input emits candidates in lexicographic order
   // already; assert instead of re-sorting.
   YAFIM_DCHECK(std::is_sorted(candidates.begin(), candidates.end()),

@@ -13,6 +13,7 @@
 
 #include "engine/work.h"
 #include "fim/itemset.h"
+#include "obs/metrics.h"
 
 namespace yafim::fim {
 
@@ -44,9 +45,14 @@ class HashTree {
 
   /// Per-thread scratch for containment enumeration. Reusable across
   /// probes and across trees; never share one Probe between threads.
+  /// The visit counters are probe-local running totals, flushed to the obs
+  /// counter registry once per probed transaction (one relaxed atomic add
+  /// instead of one per node) when tracing is enabled.
   struct Probe {
     std::vector<u64> leaf_stamp;
     u64 counter = 0;
+    u64 nodes_visited = 0;
+    u64 candidate_checks = 0;
   };
 
   /// Invoke fn(candidate_id) once for every candidate contained in `t`.
@@ -59,7 +65,15 @@ class HashTree {
     if (probe.leaf_stamp.size() < num_leaves_) {
       probe.leaf_stamp.resize(num_leaves_, 0);
     }
+    const u64 nodes_before = probe.nodes_visited;
+    const u64 checks_before = probe.candidate_checks;
     walk(kRoot, t, 0, 0, probe, fn);
+    if (obs::enabled()) {
+      obs::count(obs::CounterId::kHashTreeNodesVisited,
+                 probe.nodes_visited - nodes_before);
+      obs::count(obs::CounterId::kHashTreeCandChecks,
+                 probe.candidate_checks - checks_before);
+    }
   }
 
   /// Reference containment enumeration without the tree (linear scan over
@@ -70,6 +84,7 @@ class HashTree {
       engine::work::add(1);
       if (contains_all(t, candidates_[i])) fn(i);
     }
+    obs::count(obs::CounterId::kHashTreeCandChecks, candidates_.size());
   }
 
  private:
@@ -96,11 +111,13 @@ class HashTree {
             Probe& probe, Fn& fn) const {
     const Node& node = nodes_[node_idx];
     engine::work::add(1);
+    ++probe.nodes_visited;
     if (node.leaf) {
       if (probe.leaf_stamp[node.leaf_id] == probe.counter) return;
       probe.leaf_stamp[node.leaf_id] = probe.counter;
       for (u32 ci : node.bucket) {
         engine::work::add(1);
+        ++probe.candidate_checks;
         if (contains_all(t, candidates_[ci])) fn(ci);
       }
       return;

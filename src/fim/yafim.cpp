@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
+#include <string>
 #include <utility>
 
 #include "engine/broadcast.h"
 #include "engine/rdd.h"
 #include "fim/candidate_gen.h"
 #include "fim/hash_tree.h"
+#include "obs/trace.h"
 
 namespace yafim::fim {
 
@@ -35,8 +38,13 @@ MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
                      const YafimOptions& options) {
   const size_t first_stage = ctx.report().stages().size();
 
+  std::optional<obs::Span> mine_span;
+  if (obs::enabled()) mine_span.emplace("yafim", "yafim:mine");
+
   // ---- Phase 0: load the dataset from HDFS into a cached RDD ----------
   ctx.set_pass(0);
+  std::optional<obs::Span> load_span;
+  if (obs::enabled()) load_span.emplace("yafim", "yafim:load");
   const std::vector<u8> raw = fs.read(input_path);
   TransactionDB db = TransactionDB::deserialize(raw);
   const u32 load_tasks =
@@ -72,9 +80,15 @@ MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
       ctx.parallelize(db.release(), options.partitions)
           .map([](const Transaction& t) { return t; });
   if (options.cache_transactions) transactions.persist();
+  if (load_span) {
+    load_span->arg("transactions", num_transactions);
+    load_span->end();
+  }
 
   // ---- Phase I: frequent 1-itemsets (Algorithm 2) ----------------------
   ctx.set_pass(1);
+  std::optional<obs::Span> pass1_span;
+  if (obs::enabled()) pass1_span.emplace("yafim", "yafim:pass1");
   std::vector<CountPair> level =
       transactions
           .flat_map([](const Transaction& t) { return t; })
@@ -93,6 +107,10 @@ MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
     frequent.push_back(itemset);
   }
   run.passes.push_back(PassStats{1, level.size(), level.size(), 0.0});
+  if (pass1_span) {
+    pass1_span->arg("frequent", level.size());
+    pass1_span->end();
+  }
 
   // ---- Phase II: Lk from L(k-1) (Algorithm 3) --------------------------
   // With combine_passes > 1, one cluster pass counts a batch of candidate
@@ -101,8 +119,17 @@ MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
   const u32 combine = std::max<u32>(1, options.combine_passes);
   for (u32 k = 2; !frequent.empty();) {
     ctx.set_pass(k);
+    std::optional<obs::Span> pass_span;
+    if (obs::enabled()) {
+      pass_span.emplace("yafim", "yafim:pass" + std::to_string(k));
+    }
 
     // Driver side: ap_gen + hash-tree builds, measured as driver work.
+    std::optional<obs::Span> gen_span;
+    if (obs::enabled()) {
+      gen_span.emplace("driver",
+                       "pass" + std::to_string(k) + ":ap_gen+buildHashTree");
+    }
     engine::work::Scope driver_scope;
     std::vector<std::vector<Itemset>> batch;
     {
@@ -135,6 +162,13 @@ MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
       tree_bytes += trees->back().serialized_bytes();
     }
     {
+      if (gen_span) {
+        u64 total_candidates = 0;
+        for (u64 n : num_candidates) total_candidates += n;
+        gen_span->arg("candidates", total_candidates);
+        gen_span->arg("levels", levels_in_batch);
+        gen_span->end();
+      }
       sim::StageRecord gen;
       gen.label = "pass" + std::to_string(k) + ":ap_gen+buildHashTree";
       gen.kind = sim::StageKind::kOverhead;
@@ -193,6 +227,15 @@ MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
       run.passes.push_back(PassStats{k + j, num_candidates[j],
                                      by_level[j].size(), 0.0});
     }
+    if (pass_span) {
+      u64 total_candidates = 0, total_frequent = 0;
+      for (u64 n : num_candidates) total_candidates += n;
+      for (const auto& lvl : by_level) total_frequent += lvl.size();
+      if (levels_in_batch > 1) pass_span->arg("levels", levels_in_batch);
+      pass_span->arg("candidates", total_candidates);
+      pass_span->arg("frequent", total_frequent);
+      pass_span->end();
+    }
 
     frequent.clear();
     for (const auto& [itemset, support] : by_level[levels_in_batch - 1]) {
@@ -204,6 +247,12 @@ MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
 
   ctx.set_pass(0);
   price_passes(ctx, first_stage, run);
+  if (mine_span) {
+    mine_span->arg("passes", run.passes.size());
+    mine_span->arg("frequent_itemsets", run.itemsets.total());
+    mine_span->end();
+    obs::Tracer::instance().drain();
+  }
   return run;
 }
 

@@ -26,6 +26,7 @@
 #include "engine/bytes_of.h"
 #include "engine/context.h"
 #include "engine/work.h"
+#include "obs/trace.h"
 #include "simfs/simfs.h"
 #include "util/common.h"
 
@@ -132,7 +133,13 @@ class JobRunner {
     // Map phase (with optional combiner), hash-partitioned spill.
     std::vector<std::vector<std::vector<std::pair<K, V>>>> map_out(map_tasks);
     std::atomic<u64> shuffle_bytes{0};
-    auto tasks = ctx_.measure_tasks(map_tasks, [&](u32 m) {
+    std::optional<obs::Span> map_span;
+    if (obs::enabled()) {
+      map_span.emplace("stage", spec.name + ":map");
+      map_span->arg("ntasks", map_tasks);
+    }
+    auto tasks = ctx_.measure_tasks(spec.name + ":map", map_tasks,
+                                    [&](u32 m) {
       const auto [begin, end] = slice(records.size(), map_tasks, m);
       Emitter<K, V> emitter;
       // Input-format streaming tax: split/deserialize every record anew on
@@ -176,6 +183,10 @@ class JobRunner {
       shuffle_bytes.fetch_add(bytes, std::memory_order_relaxed);
     });
     {
+      if (map_span) {
+        map_span->arg("shuffle_bytes", shuffle_bytes.load());
+        map_span->end();
+      }
       sim::StageRecord map_stage;
       map_stage.label = spec.name + ":map";
       map_stage.kind = sim::StageKind::kMapPhase;
@@ -189,7 +200,13 @@ class JobRunner {
 
     // Reduce phase: group values per key, reduce, collect output.
     std::vector<std::vector<O>> reduce_out(reduce_tasks);
-    auto rtasks = ctx_.measure_tasks(reduce_tasks, [&](u32 r) {
+    std::optional<obs::Span> reduce_span;
+    if (obs::enabled()) {
+      reduce_span.emplace("stage", spec.name + ":reduce");
+      reduce_span->arg("ntasks", reduce_tasks);
+    }
+    auto rtasks = ctx_.measure_tasks(spec.name + ":reduce", reduce_tasks,
+                                     [&](u32 r) {
       std::unordered_map<K, std::vector<V>, Hash> groups;
       for (u32 m = 0; m < map_tasks; ++m) {
         for (auto& [k, v] : map_out[m][r]) {
@@ -218,6 +235,7 @@ class JobRunner {
     std::vector<u8> encoded = spec.encode_output(result.output);
     result.output_bytes = encoded.size();
     fs_.write(output_path, std::move(encoded));
+    if (reduce_span) reduce_span->end();
     {
       sim::StageRecord reduce_stage;
       reduce_stage.label = spec.name + ":reduce";

@@ -1,0 +1,78 @@
+#include "obs/metrics.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace yafim::obs {
+
+const char* counter_name(CounterId id) {
+  switch (id) {
+    case CounterId::kShuffleBytes: return "shuffle.bytes";
+    case CounterId::kBroadcastBytes: return "broadcast.bytes";
+    case CounterId::kNaiveShipBytes: return "naive_ship.bytes";
+    case CounterId::kDfsReadBytes: return "dfs.read_bytes";
+    case CounterId::kDfsWriteBytes: return "dfs.write_bytes";
+    case CounterId::kCacheHits: return "cache.hits";
+    case CounterId::kCacheMisses: return "cache.misses";
+    case CounterId::kLineageRecomputes: return "lineage.recomputes";
+    case CounterId::kFaultPartitionsDropped: return "fault.partitions_dropped";
+    case CounterId::kPoolTasks: return "pool.tasks";
+    case CounterId::kPoolQueueWaitUs: return "pool.queue_wait_us";
+    case CounterId::kPoolTaskRunUs: return "pool.task_run_us";
+    case CounterId::kHashTreeNodesVisited: return "hash_tree.nodes_visited";
+    case CounterId::kHashTreeCandChecks: return "hash_tree.candidate_checks";
+    case CounterId::kCandidatesGenerated: return "candidates.generated";
+    case CounterId::kCandidatesPruned: return "candidates.pruned";
+    case CounterId::kNumCounters: break;
+  }
+  return "unknown";
+}
+
+struct CounterRegistry::Impl {
+  Counter well_known[static_cast<u32>(CounterId::kNumCounters)];
+  mutable std::mutex mutex;  // guards `named` shape only, not the values
+  std::map<std::string, std::unique_ptr<Counter>> named;
+};
+
+CounterRegistry::CounterRegistry() : impl_(new Impl) {}
+
+CounterRegistry& CounterRegistry::instance() {
+  // Leaked singleton: counter references must outlive every user, including
+  // static-destruction-order stragglers.
+  static CounterRegistry* registry = new CounterRegistry();
+  return *registry;
+}
+
+Counter& CounterRegistry::at(CounterId id) {
+  YAFIM_DCHECK(id < CounterId::kNumCounters, "bad counter id");
+  return impl_->well_known[static_cast<u32>(id)];
+}
+
+Counter& CounterRegistry::get(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->named[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, u64>> CounterRegistry::snapshot() const {
+  std::vector<std::pair<std::string, u64>> out;
+  for (u32 i = 0; i < static_cast<u32>(CounterId::kNumCounters); ++i) {
+    out.emplace_back(counter_name(static_cast<CounterId>(i)),
+                     impl_->well_known[i].value());
+  }
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& [name, counter] : impl_->named) {
+    out.emplace_back(name, counter->value());
+  }
+  return out;
+}
+
+void CounterRegistry::reset_all() {
+  for (Counter& c : impl_->well_known) c.reset();
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (auto& [name, counter] : impl_->named) counter->reset();
+}
+
+}  // namespace yafim::obs

@@ -1,0 +1,105 @@
+// Named wall-clock observability counters.
+//
+// The sim layer records *deterministic* work units priced into simulated
+// seconds (sim/metrics.h); this module is its wall-clock twin: cheap named
+// counters the engine bumps while it actually runs (shuffle bytes, cache
+// hits/misses, lineage recomputations, broadcast bytes, hash-tree nodes
+// visited, candidates pruned, thread-pool queue wait). Counting is gated on
+// the global tracing flag so the disabled path is a single relaxed load and
+// a predicted branch; hot loops additionally batch into locals and flush one
+// atomic add per transaction/stage.
+//
+// Where a counter mirrors a SimReport quantity (shuffle/broadcast/DFS
+// bytes), it is fed from Context::record() off the same StageRecord, so the
+// two accountings agree by construction.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/common.h"
+
+namespace yafim::obs {
+
+/// Global tracing switch shared by counters and the Tracer. Relaxed loads:
+/// instrumentation may miss a toggle mid-stage, never corrupts state.
+namespace detail {
+inline std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+inline void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// Well-known counters, enum-indexed so hot paths skip the name lookup.
+enum class CounterId : u32 {
+  kShuffleBytes = 0,       ///< bytes crossing reduceByKey/groupByKey/etc.
+  kBroadcastBytes,         ///< bytes shipped via Broadcast<T>
+  kNaiveShipBytes,         ///< bytes shipped per-task in kNaiveShip mode
+  kDfsReadBytes,           ///< simulated-HDFS bytes read (stage-accounted)
+  kDfsWriteBytes,          ///< simulated-HDFS bytes written
+  kCacheHits,              ///< persisted partitions served from cache
+  kCacheMisses,            ///< persisted partitions computed then cached
+  kLineageRecomputes,      ///< post-loss recomputations (fault recovery)
+  kFaultPartitionsDropped, ///< cached partitions dropped by the injector
+  kPoolTasks,              ///< tasks executed by the thread pool
+  kPoolQueueWaitUs,        ///< total task time spent queued, microseconds
+  kPoolTaskRunUs,          ///< total task run time, microseconds
+  kHashTreeNodesVisited,   ///< hash-tree nodes touched by probes
+  kHashTreeCandChecks,     ///< candidate containment checks at leaves
+  kCandidatesGenerated,    ///< itemsets emitted by apriori_gen
+  kCandidatesPruned,       ///< joins rejected by the subset-presence prune
+  kNumCounters,
+};
+
+/// Canonical dotted name ("shuffle.bytes", "cache.hits", ...).
+const char* counter_name(CounterId id);
+
+class Counter {
+ public:
+  void add(u64 delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  u64 value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<u64> value_{0};
+};
+
+/// Registry exposing the well-known counters plus any counters minted by
+/// name at runtime. References returned by at()/get() are stable for the
+/// process lifetime; reset_all() zeroes values without invalidating them.
+class CounterRegistry {
+ public:
+  static CounterRegistry& instance();
+
+  Counter& at(CounterId id);
+  /// Find-or-create a named counter (for subsystems added later).
+  Counter& get(const std::string& name);
+
+  /// (name, value) for every registered counter, well-known ones first.
+  std::vector<std::pair<std::string, u64>> snapshot() const;
+  void reset_all();
+
+ private:
+  CounterRegistry();
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Bump a well-known counter iff tracing is enabled.
+inline void count(CounterId id, u64 delta = 1) {
+  if (!enabled()) return;
+  CounterRegistry::instance().at(id).add(delta);
+}
+
+/// Current value of a well-known counter (0 while never traced).
+inline u64 counter_value(CounterId id) {
+  return CounterRegistry::instance().at(id).value();
+}
+
+}  // namespace yafim::obs
