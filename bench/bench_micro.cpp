@@ -125,8 +125,9 @@ void BM_ItemsetHash(benchmark::State& state) {
 BENCHMARK(BM_ItemsetHash);
 
 void BM_ReduceByKey(benchmark::State& state) {
-  engine::Context ctx(
-      engine::Context::Options{.cluster = sim::ClusterConfig::with_nodes(2)});
+  engine::Context::Options opts{.cluster = sim::ClusterConfig::with_nodes(2)};
+  opts.fault = engine::FaultProfile{};  // stable numbers even under env
+  engine::Context ctx(opts);
   Rng rng(5);
   std::vector<std::pair<u32, u64>> pairs;
   const u64 n = state.range(0);
@@ -144,6 +145,26 @@ void BM_ReduceByKey(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_ReduceByKey)->Arg(10000)->Arg(100000);
+
+/// Stage-launch machinery overhead: arg 0 = injection disabled (must stay
+/// on the near-zero-cost fast path), arg 1 = failures + stragglers injected
+/// (retry loop, speculation pass, deterministic draws).
+void BM_StageFaultPath(benchmark::State& state) {
+  engine::Context::Options opts{.cluster = sim::ClusterConfig::with_nodes(2)};
+  opts.fault = engine::FaultProfile{};
+  if (state.range(0)) {
+    opts.fault.seed = 99;
+    opts.fault.task_failure_p = 0.05;
+    opts.fault.straggler_p = 0.05;
+  }
+  engine::Context ctx(opts);
+  for (auto _ : state) {
+    ctx.run_stage("bench", 32, [](u32) { engine::work::add(100); });
+    ctx.report().clear();  // keep the record list from growing unboundedly
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_StageFaultPath)->Arg(0)->Arg(1);
 
 void BM_DatasetSerialize(benchmark::State& state) {
   const auto db = quest_db(5000);

@@ -1,9 +1,18 @@
-// The "resilient" in RDD: lineage-based fault recovery.
+// The "resilient" in RDD: task-level fault tolerance, end to end.
 //
-// Caches the transactions RDD in (simulated) executor memory, kills an
-// executor node mid-computation, and shows the engine recomputing exactly
-// the lost partitions from lineage -- with bit-identical results and no
-// replication, which is the RDD fault-tolerance story the paper builds on.
+// Four mechanisms, demonstrated in sequence on the same dataset:
+//
+//   1. Lineage recovery -- an executor dies, its cached partitions are gone,
+//      and the engine rebuilds exactly those partitions from lineage.
+//   2. Injected task failures + bounded retries -- a seeded FaultProfile
+//      makes task launches fail at random; the scheduler retries each task
+//      (and the stage) within a budget, blacklisting consistently sick
+//      executors, with bit-identical results.
+//   3. Stragglers + speculative execution -- slow tasks get a speculative
+//      copy raced on another node; the first finisher wins.
+//   4. Memory-pressure cache eviction -- a finite executor cache budget
+//      LRU-evicts the coldest partitions, which degrade gracefully to
+//      lineage recompute on next access.
 //
 //   $ ./examples/fault_tolerance
 #include <cstdio>
@@ -15,54 +24,139 @@
 
 using namespace yafim;
 
-int main() {
-  set_log_level(LogLevel::kWarn);
+namespace {
 
+using ItemCounts = std::unordered_map<fim::Item, u64>;
+
+ItemCounts count_items(engine::RDD<fim::Transaction>& transactions) {
+  return transactions
+      .flat_map([](const fim::Transaction& t) { return t; })
+      .map([](const fim::Item& i) { return std::pair<fim::Item, u64>(i, 1); })
+      .reduce_by_key([](u64 a, u64 b) { return a + b; })
+      .collect_as_map();
+}
+
+fim::TransactionDB make_db() {
   datagen::QuestParams params;
   params.num_transactions = 50000;
   params.num_items = 200;
   params.num_patterns = 40;
-  auto db = datagen::generate_quest(params);
+  return datagen::generate_quest(params);
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::kWarn);
+
+  auto db = make_db();
   std::printf("dataset: %llu transactions\n", (unsigned long long)db.size());
 
-  engine::Context ctx;  // 12 simulated nodes
-  auto transactions =
-      ctx.parallelize(db.release(), 48)
-          .map([](const fim::Transaction& t) { return t; });  // parse step
-  transactions.persist();
+  // ---- 1. lineage recovery after an executor death ---------------------
+  std::printf("\n=== 1. executor death -> lineage recovery ===\n");
+  ItemCounts reference;
+  {
+    engine::Context::Options opts;
+    opts.fault = engine::FaultProfile{};
+    engine::Context ctx(opts);  // 12 simulated nodes, injection off
+    auto transactions = ctx.parallelize(db.transactions(), 48)
+                            .map([](const fim::Transaction& t) { return t; });
+    transactions.persist();
 
-  auto count_items = [&] {
-    return transactions
-        .flat_map([](const fim::Transaction& t) { return t; })
-        .map([](const fim::Item& i) { return std::pair<fim::Item, u64>(i, 1); })
-        .reduce_by_key([](u64 a, u64 b) { return a + b; })
-        .collect_as_map();
-  };
+    reference = count_items(transactions);
+    std::printf("first action: counted %zu distinct items "
+                "(cache now populated)\n",
+                reference.size());
 
-  const auto before = count_items();
-  std::printf("first action: counted %zu distinct items "
-              "(cache now populated; recomputations so far: %llu)\n",
-              before.size(),
-              (unsigned long long)ctx.fault_injector().recomputations());
+    const u64 lost = ctx.fault_injector().kill_executor(5);
+    std::printf("killed executor node 5: %llu cached partitions lost\n",
+                (unsigned long long)lost);
 
-  // An executor dies: its cached partitions are gone.
-  const u64 lost = ctx.fault_injector().kill_executor(5);
-  std::printf("\n*** killed executor node 5: %llu cached partitions lost\n",
-              (unsigned long long)lost);
+    const auto after = count_items(transactions);
+    std::printf("re-ran the count: results identical: %s, "
+                "lineage recomputations: %llu / 48 partitions\n",
+                reference == after ? "yes" : "NO",
+                (unsigned long long)ctx.fault_injector().recomputations());
 
-  const auto after = count_items();
-  std::printf("re-ran the count: %zu distinct items, recomputations: %llu "
-              "(only the lost partitions were rebuilt from lineage)\n",
-              after.size(),
-              (unsigned long long)ctx.fault_injector().recomputations());
-  std::printf("results identical: %s\n", before == after ? "yes" : "NO");
+    ctx.fault_injector().fail_partition(transactions.id(), 7);
+    const auto again = count_items(transactions);
+    std::printf("after losing one more partition: identical: %s, "
+                "total recomputations: %llu\n",
+                reference == again ? "yes" : "NO",
+                (unsigned long long)ctx.fault_injector().recomputations());
+  }
 
-  // A second failure, this time of a single partition.
-  ctx.fault_injector().fail_partition(transactions.id(), 7);
-  const auto again = count_items();
-  std::printf("\nafter losing one more partition: identical results: %s, "
-              "total recomputations: %llu / 48 partitions\n",
-              before == again ? "yes" : "NO",
-              (unsigned long long)ctx.fault_injector().recomputations());
+  // ---- 2. injected task failures, retries, blacklisting ----------------
+  std::printf("\n=== 2. injected task failures -> bounded retries ===\n");
+  {
+    engine::Context::Options opts;
+    opts.fault = engine::FaultProfile{};
+    opts.fault.seed = 2024;
+    opts.fault.task_failure_p = 0.08;
+    opts.fault.node_failure_bias = {12.0};  // node 0 is a lemon
+    opts.fault.blacklist_after = 3;
+    engine::Context ctx(opts);
+
+    auto transactions = ctx.parallelize(db.transactions(), 48)
+                            .map([](const fim::Transaction& t) { return t; });
+    transactions.persist();
+    const auto counts = count_items(transactions);
+    const auto& inj = ctx.fault_injector();
+    std::printf("mined through %llu injected failures: %llu task retries, "
+                "%llu stage retries, results identical: %s\n",
+                (unsigned long long)inj.task_failures(),
+                (unsigned long long)inj.task_retries(),
+                (unsigned long long)inj.stage_retries(),
+                counts == reference ? "yes" : "NO");
+    std::printf("blacklisted executors: %llu (live nodes: %u/%u)\n",
+                (unsigned long long)inj.blacklisted_nodes(), inj.live_nodes(),
+                inj.nodes());
+  }
+
+  // ---- 3. stragglers and speculative execution -------------------------
+  std::printf("\n=== 3. stragglers -> speculative execution ===\n");
+  {
+    engine::Context::Options opts;
+    opts.fault = engine::FaultProfile{};
+    opts.fault.seed = 7;
+    opts.fault.straggler_p = 0.10;  // 10% of tasks run 8x slow
+    engine::Context ctx(opts);
+
+    auto transactions = ctx.parallelize(db.transactions(), 48)
+                            .map([](const fim::Transaction& t) { return t; });
+    const auto counts = count_items(transactions);
+    const auto& inj = ctx.fault_injector();
+    std::printf("stragglers injected: %llu; speculative copies launched: "
+                "%llu (wins: %llu, losses: %llu), results identical: %s\n",
+                (unsigned long long)inj.stragglers(),
+                (unsigned long long)inj.speculative_launches(),
+                (unsigned long long)inj.speculative_wins(),
+                (unsigned long long)inj.speculative_losses(),
+                counts == reference ? "yes" : "NO");
+  }
+
+  // ---- 4. memory pressure -> LRU eviction -> recompute ------------------
+  std::printf("\n=== 4. cache budget -> LRU eviction ===\n");
+  {
+    engine::Context::Options opts;
+    opts.fault = engine::FaultProfile{};
+    opts.cluster.executor_cache_bytes = 64 << 10;  // 64 KiB per node
+    engine::Context ctx(opts);
+
+    auto transactions = ctx.parallelize(db.transactions(), 48)
+                            .map([](const fim::Transaction& t) { return t; });
+    transactions.persist();
+    const auto first = count_items(transactions);
+    const auto& inj = ctx.fault_injector();
+    std::printf("first pass under a 64 KiB/node budget: %llu evictions "
+                "(%llu bytes)\n",
+                (unsigned long long)inj.cache_evictions(),
+                (unsigned long long)inj.cache_evicted_bytes());
+    const auto second = count_items(transactions);
+    std::printf("second pass: evicted partitions recomputed from lineage "
+                "(%llu recomputations), results identical: %s\n",
+                (unsigned long long)inj.recomputations(),
+                first == reference && second == reference ? "yes" : "NO");
+  }
   return 0;
 }

@@ -31,6 +31,12 @@ class Broadcast {
 
 template <typename T>
 Broadcast<T> Context::broadcast(T value, u64 bytes) {
+  // Blacklisted executors receive no tasks, so the tree distribution skips
+  // them: charge only the live fraction of the cluster.
+  const FaultInjector& injector = fault_;
+  const u32 nodes = injector.nodes();
+  const u32 live = injector.live_nodes();
+  if (live < nodes) bytes = bytes * live / nodes;
   add_pending_broadcast(bytes);
   return Broadcast<T>(std::make_shared<const T>(std::move(value)));
 }

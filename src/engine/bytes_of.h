@@ -21,6 +21,13 @@ constexpr u64 byte_size(const T&) {
 
 inline u64 byte_size(const std::string& s) { return 8 + s.size(); }
 
+// Forward declarations so the recursive cases can see each other regardless
+// of nesting order (ADL does not apply: std:: is the associated namespace).
+template <typename T>
+u64 byte_size(const std::vector<T>& v);
+template <typename A, typename B>
+u64 byte_size(const std::pair<A, B>& p);
+
 template <typename T>
 u64 byte_size(const std::vector<T>& v) {
   u64 total = 8;  // length prefix

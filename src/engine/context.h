@@ -44,6 +44,10 @@ struct ContextOptions {
   /// Default number of RDD partitions; 0 = 2x simulated cores.
   u32 default_partitions = 0;
   ShareMode share_mode = ShareMode::kBroadcast;
+  /// Task-level fault injection (engine/fault.h). Defaults to the
+  /// YAFIM_FAULT_* environment (disabled when unset), so a whole test or
+  /// bench binary can be run under injection without code changes.
+  FaultProfile fault = FaultProfile::from_env();
 };
 
 class Context {
@@ -97,6 +101,13 @@ class Context {
   /// per-task work, without recording a stage. Building block for
   /// substrates (e.g. MapReduce) that assemble their own StageRecords.
   /// `label` names the per-task wall-clock spans when tracing is on.
+  ///
+  /// This is also the engine's fault boundary: when the FaultProfile is
+  /// enabled, every task launch consults it (injected failures with bounded
+  /// retries, blacklist-aware placement, stragglers, speculative copies,
+  /// stage retries) and throws StageFailedError once the attempt budget is
+  /// exhausted. Because both the RDD scheduler and the MapReduce JobRunner
+  /// funnel through here, both substrates face the same failures.
   std::vector<sim::TaskRecord> measure_tasks(
       const std::string& label, u32 ntasks,
       const std::function<void(u32)>& body);
@@ -125,11 +136,18 @@ class Context {
   Broadcast<T> broadcast(T value, u64 bytes);
 
  private:
+  /// Faulty-path twin of measure_tasks (attempts, stragglers, speculation).
+  std::vector<sim::TaskRecord> measure_tasks_with_faults(
+      const std::string& label, u32 ntasks,
+      const std::function<void(u32)>& body);
+
   Options opts_;
   sim::CostModel model_;
   ThreadPool pool_;
   FaultInjector fault_;
   u32 default_partitions_;
+  /// Stages launched so far; salts the deterministic injection draws.
+  std::atomic<u64> stage_seq_{0};
 
   std::mutex report_mutex_;
   sim::SimReport report_;

@@ -1,8 +1,65 @@
 #include "engine/fault.h"
 
+#include <cstdlib>
+
 #include "obs/trace.h"
+#include "util/rng.h"
 
 namespace yafim::engine {
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value && *value ? std::atof(value) : fallback;
+}
+
+u64 env_u64(const char* name, u64 fallback) {
+  const char* value = std::getenv(name);
+  return value && *value ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+}  // namespace
+
+FaultProfile FaultProfile::from_env() {
+  FaultProfile p;
+  p.seed = env_u64("YAFIM_FAULT_SEED", p.seed);
+  p.task_failure_p = env_double("YAFIM_FAULT_TASK_FAILURE_P", p.task_failure_p);
+  p.straggler_p = env_double("YAFIM_FAULT_STRAGGLER_P", p.straggler_p);
+  p.straggler_slowdown =
+      env_double("YAFIM_FAULT_STRAGGLER_SLOWDOWN", p.straggler_slowdown);
+  p.max_task_attempts = static_cast<u32>(
+      env_u64("YAFIM_FAULT_MAX_TASK_ATTEMPTS", p.max_task_attempts));
+  p.max_stage_attempts = static_cast<u32>(
+      env_u64("YAFIM_FAULT_MAX_STAGE_ATTEMPTS", p.max_stage_attempts));
+  p.blacklist_after = static_cast<u32>(
+      env_u64("YAFIM_FAULT_BLACKLIST_AFTER", p.blacklist_after));
+  p.speculation_multiple =
+      env_double("YAFIM_FAULT_SPECULATION_MULTIPLE", p.speculation_multiple);
+  return p;
+}
+
+StageFailedError::StageFailedError(std::string stage, u32 failed_tasks,
+                                   u32 stage_attempts)
+    : std::runtime_error("stage '" + stage + "' failed: " +
+                         std::to_string(failed_tasks) +
+                         " task(s) exhausted their attempt budget after " +
+                         std::to_string(stage_attempts) + " stage attempt(s)"),
+      stage_(std::move(stage)),
+      failed_tasks_(failed_tasks),
+      stage_attempts_(stage_attempts) {}
+
+FaultInjector::FaultInjector(const sim::ClusterConfig& cluster,
+                             FaultProfile profile)
+    : nodes_(cluster.nodes),
+      profile_(std::move(profile)),
+      cache_budget_per_node_(cluster.executor_cache_bytes),
+      node_lru_(nodes_),
+      node_cached_bytes_(nodes_, 0),
+      node_failures_(nodes_, 0),
+      node_blacklisted_(nodes_, false) {
+  YAFIM_CHECK(nodes_ > 0, "a cluster needs at least one node");
+}
 
 void FaultInjector::register_holder(CacheHolder* holder) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -12,19 +69,88 @@ void FaultInjector::register_holder(CacheHolder* holder) {
 void FaultInjector::unregister_holder(CacheHolder* holder) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = holders_.find(holder->holder_id());
-  if (it != holders_.end() && it->second == holder) holders_.erase(it);
+  if (it == holders_.end() || it->second != holder) return;
+  holders_.erase(it);
+  // Forget any LRU entries the departing cache still had admitted.
+  for (u32 node = 0; node < nodes_; ++node) {
+    auto& lru = node_lru_[node];
+    for (auto e = lru.begin(); e != lru.end();) {
+      if (e->rdd_id != holder->holder_id()) {
+        ++e;
+        continue;
+      }
+      node_cached_bytes_[node] -= e->bytes;
+      entries_.erase(entry_key(e->rdd_id, e->partition));
+      e = lru.erase(e);
+    }
+  }
+}
+
+void FaultInjector::note_cache_insert(u32 rdd_id, u32 partition, u64 bytes) {
+  if (!cache_budget_enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!holders_.count(rdd_id)) return;  // raced with unregister
+  const u64 key = entry_key(rdd_id, partition);
+  const u32 node = partition % nodes_;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Re-insert of a tracked partition (benign race): refresh bytes + LRU.
+    node_cached_bytes_[node] -= it->second.second->bytes;
+    node_lru_[node].erase(it->second.second);
+    entries_.erase(it);
+  }
+  node_lru_[node].push_back(CacheEntry{rdd_id, partition, bytes});
+  entries_.emplace(key, std::make_pair(node, std::prev(node_lru_[node].end())));
+  node_cached_bytes_[node] += bytes;
+  evict_over_budget_locked(node);
+}
+
+void FaultInjector::note_cache_hit(u32 rdd_id, u32 partition) {
+  if (!cache_budget_enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(entry_key(rdd_id, partition));
+  if (it == entries_.end()) return;
+  auto& lru = node_lru_[it->second.first];
+  lru.splice(lru.end(), lru, it->second.second);  // move to MRU position
+}
+
+void FaultInjector::forget_entry_locked(u32 rdd_id, u32 partition) {
+  auto it = entries_.find(entry_key(rdd_id, partition));
+  if (it == entries_.end()) return;
+  const u32 node = it->second.first;
+  node_cached_bytes_[node] -= it->second.second->bytes;
+  node_lru_[node].erase(it->second.second);
+  entries_.erase(it);
+}
+
+void FaultInjector::evict_over_budget_locked(u32 node) {
+  auto& lru = node_lru_[node];
+  while (node_cached_bytes_[node] > cache_budget_per_node_ && !lru.empty()) {
+    const CacheEntry victim = lru.front();
+    auto holder = holders_.find(victim.rdd_id);
+    if (holder != holders_.end()) holder->second->drop_cached(victim.partition);
+    node_cached_bytes_[node] -= victim.bytes;
+    entries_.erase(entry_key(victim.rdd_id, victim.partition));
+    lru.pop_front();
+    cache_evictions_.fetch_add(1, std::memory_order_relaxed);
+    cache_evicted_bytes_.fetch_add(victim.bytes, std::memory_order_relaxed);
+    obs::count(obs::CounterId::kCacheEvictions);
+    obs::count(obs::CounterId::kCacheEvictedBytes, victim.bytes);
+    obs::instant("fault", "cache_evict",
+                 {{"rdd", victim.rdd_id},
+                  {"partition", victim.partition},
+                  {"node", node},
+                  {"bytes", victim.bytes}});
+  }
 }
 
 bool FaultInjector::fail_partition(u32 rdd_id, u32 partition) {
-  CacheHolder* holder = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = holders_.find(rdd_id);
-    if (it == holders_.end()) return false;
-    holder = it->second;
-  }
-  const bool dropped = holder->drop_cached(partition);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = holders_.find(rdd_id);
+  if (it == holders_.end()) return false;
+  const bool dropped = it->second->drop_cached(partition);
   if (dropped) {
+    forget_entry_locked(rdd_id, partition);
     obs::count(obs::CounterId::kFaultPartitionsDropped);
     obs::instant("fault", "fail_partition",
                  {{"rdd", rdd_id}, {"partition", partition}});
@@ -34,22 +160,74 @@ bool FaultInjector::fail_partition(u32 rdd_id, u32 partition) {
 
 u64 FaultInjector::kill_executor(u32 node) {
   YAFIM_CHECK(node < nodes_, "no such node");
-  std::vector<CacheHolder*> holders;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    holders.reserve(holders_.size());
-    for (auto& [id, holder] : holders_) holders.push_back(holder);
-  }
   u64 lost = 0;
-  for (CacheHolder* holder : holders) {
-    for (u32 p = node; p < holder->holder_partitions(); p += nodes_) {
-      if (holder->drop_cached(p)) ++lost;
+  {
+    // Dropping under the lock keeps the holder pointers valid: ~Node blocks
+    // in unregister_holder until this loop is done with them.
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [id, holder] : holders_) {
+      for (u32 p = node; p < holder->holder_partitions(); p += nodes_) {
+        if (holder->drop_cached(p)) {
+          forget_entry_locked(id, p);
+          ++lost;
+        }
+      }
     }
   }
   obs::count(obs::CounterId::kFaultPartitionsDropped, lost);
   obs::instant("fault", "kill_executor",
                {{"node", node}, {"partitions_lost", lost}});
   return lost;
+}
+
+double FaultInjector::draw_uniform(u64 a, u64 b, u64 c) const {
+  const u64 h = mix64(profile_.seed ^ mix64(a ^ mix64(b ^ mix64(c))));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjector::draw_task_failure(u64 stage, u32 stage_attempt, u32 task,
+                                      u32 attempt, u32 node) const {
+  double p = profile_.task_failure_p;
+  if (node < profile_.node_failure_bias.size()) {
+    p *= profile_.node_failure_bias[node];
+  }
+  if (p <= 0.0) return false;
+  const u64 salt = (u64{stage_attempt} << 48) | (u64{task} << 16) | attempt;
+  return draw_uniform(stage, salt, 0xFA11) < p;
+}
+
+bool FaultInjector::draw_straggler(u64 stage, u32 task, u32 copy) const {
+  if (profile_.straggler_p <= 0.0) return false;
+  const u64 salt = (u64{copy} << 32) | task;
+  return draw_uniform(stage, salt, 0x57A6) < profile_.straggler_p;
+}
+
+u32 FaultInjector::node_of(u32 index) const {
+  const u32 home = index % nodes_;
+  if (blacklisted_count_.load(std::memory_order_relaxed) == 0) return home;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (u32 step = 0; step < nodes_; ++step) {
+    const u32 node = (home + step) % nodes_;
+    if (!node_blacklisted_[node]) return node;
+  }
+  return home;  // unreachable: at least one node stays live
+}
+
+void FaultInjector::note_task_failure(u32 node) {
+  task_failures_.fetch_add(1, std::memory_order_relaxed);
+  obs::count(obs::CounterId::kTaskFailuresInjected);
+  if (profile_.blacklist_after == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  YAFIM_DCHECK(node < nodes_, "failure on unknown node");
+  if (node_blacklisted_[node]) return;
+  if (++node_failures_[node] < profile_.blacklist_after) return;
+  // Never blacklist the last live node: someone has to run the tasks.
+  if (blacklisted_count_.load(std::memory_order_relaxed) + 1 >= nodes_) return;
+  node_blacklisted_[node] = true;
+  blacklisted_count_.fetch_add(1, std::memory_order_relaxed);
+  obs::count(obs::CounterId::kNodesBlacklisted);
+  obs::instant("fault", "blacklist_node",
+               {{"node", node}, {"failures", node_failures_[node]}});
 }
 
 }  // namespace yafim::engine

@@ -1,17 +1,42 @@
-// Fault injection for lineage-based recovery.
+// Task-level fault tolerance for the minispark engine.
 //
 // RDDs are fault-tolerant through lineage: when a cached partition is lost
 // (its executor died), the engine recomputes just that partition from its
-// parents instead of restoring a replica. This module lets tests and demos
-// inject those losses deterministically.
+// parents instead of restoring a replica. This module provides the whole
+// failure side of that story:
 //
-// Cached RDD nodes register themselves here; kill_executor(node) drops every
-// cached partition whose simulated placement (partition % nodes) maps to
-// that node. fail_partition() targets one (rdd, partition) pair.
+//  * FaultProfile -- a deterministic, seeded injection profile (per-task
+//    failure probability, straggler probability + slowdown, per-node bias)
+//    consulted at task launch inside Context::measure_tasks. Every draw is a
+//    pure hash of (seed, stage, task, attempt), so a given profile replays
+//    bit-identically regardless of host thread scheduling.
+//  * Recovery machinery state -- bounded per-task retries and stage retries
+//    live in Context; the injector tracks per-node failure counts and
+//    blacklists executors after `blacklist_after` failures, remapping task
+//    placement (node_of) away from sick nodes.
+//  * Cache management -- cached RDD nodes register themselves here.
+//    kill_executor(node) drops every cached partition whose simulated
+//    placement (partition % nodes) maps to that node; fail_partition()
+//    targets one (rdd, partition) pair. When ClusterConfig gives executors a
+//    memory budget, the injector doubles as the per-node LRU block manager:
+//    inserts over budget evict the least-recently-used partitions, which the
+//    engine then recovers by lineage recompute on next access.
+//
+// Locking protocol: holder (Node<T>) mutexes are leaves. The injector calls
+// CacheHolder::drop_cached while holding its own mutex, so holders must
+// never call into the injector while holding their own lock (Node::get and
+// Node::persist are structured accordingly). Dropping under the injector
+// lock is what makes kill_executor safe against concurrent Node destruction:
+// ~Node blocks in unregister_holder until any in-flight drop completes, and
+// drop dispatch is a stored function pointer rather than a virtual call, so
+// it never reads a vptr the derived destructors may be rewriting.
 #pragma once
 
 #include <atomic>
+#include <list>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -21,24 +46,123 @@
 
 namespace yafim::engine {
 
-/// Type-erased view of an RDD's partition cache, implemented by RDDNode<T>.
+/// Deterministic, seeded fault-injection profile. All-zero (the default)
+/// means injection is disabled and the engine takes its fast path.
+struct FaultProfile {
+  /// Seed salting every injection draw; two runs with the same profile make
+  /// identical decisions.
+  u64 seed = 0;
+
+  /// Probability that one task *attempt* fails at launch (throws before
+  /// doing work; the work units already spent are wasted and re-charged).
+  double task_failure_p = 0.0;
+  /// Probability that a task runs as a straggler: its simulated runtime is
+  /// multiplied by straggler_slowdown (the host still computes it once).
+  double straggler_p = 0.0;
+  double straggler_slowdown = 8.0;
+
+  /// Per-node multiplier on task_failure_p (index = node id). Nodes past
+  /// the end of the vector use 1.0. Lets tests model one sick executor.
+  std::vector<double> node_failure_bias;
+
+  /// Attempt budget per task within one stage attempt (Spark's
+  /// spark.task.maxFailures). A task failing this many times fails the
+  /// stage attempt.
+  u32 max_task_attempts = 4;
+  /// Stage attempts before the engine gives up with StageFailedError. A
+  /// stage retry re-attempts only the exhausted tasks with a fresh budget.
+  u32 max_stage_attempts = 2;
+
+  /// Blacklist an executor after this many injected failures on it; tasks
+  /// are then placed on the next healthy node. 0 disables blacklisting.
+  u32 blacklist_after = 3;
+
+  /// Simulated fraction of a task's work that each failed attempt burned
+  /// before dying (charged as wasted_work in the task's record).
+  double failed_attempt_work_fraction = 0.5;
+
+  /// Speculative execution: once a stage's tasks are in, any task slower
+  /// than this multiple of the stage median runtime gets a speculative copy
+  /// launched on another node; the first finisher wins. 0 disables it.
+  double speculation_multiple = 2.0;
+
+  bool enabled() const { return task_failure_p > 0.0 || straggler_p > 0.0; }
+
+  /// Profile from YAFIM_FAULT_* environment variables (all optional:
+  /// SEED, TASK_FAILURE_P, STRAGGLER_P, STRAGGLER_SLOWDOWN,
+  /// MAX_TASK_ATTEMPTS, MAX_STAGE_ATTEMPTS, BLACKLIST_AFTER,
+  /// SPECULATION_MULTIPLE). Unset variables keep the defaults above, so an
+  /// env-free process gets a disabled profile. This is how the CI
+  /// fault-matrix runs the whole test suite under injection.
+  static FaultProfile from_env();
+};
+
+/// Thrown by stage execution when a task exhausted every task- and
+/// stage-level attempt the FaultProfile allows.
+class StageFailedError : public std::runtime_error {
+ public:
+  StageFailedError(std::string stage, u32 failed_tasks, u32 stage_attempts);
+
+  const std::string& stage() const { return stage_; }
+  u32 failed_tasks() const { return failed_tasks_; }
+  u32 stage_attempts() const { return stage_attempts_; }
+
+ private:
+  std::string stage_;
+  u32 failed_tasks_;
+  u32 stage_attempts_;
+};
+
+/// Type-erased view of an RDD's partition cache, implemented by Node<T>.
+/// Deliberately NOT a virtual interface: the injector invokes drop_cached
+/// while the holder may be mid-destruction (~Node only blocks in
+/// unregister_holder *after* the derived destructors have rewritten the
+/// vptr, so a vtable dispatch from the injector thread would race on the
+/// vptr). Dispatch instead goes through a function pointer captured at
+/// construction; the thunk must only touch Node<T> state, which outlives
+/// the ~Node body that unregisters.
 class CacheHolder {
  public:
-  virtual ~CacheHolder() = default;
-  virtual u32 holder_id() const = 0;
-  virtual u32 holder_partitions() const = 0;
+  using DropFn = bool (*)(CacheHolder*, u32 partition);
+
+  CacheHolder(u32 id, u32 partitions, DropFn drop)
+      : holder_id_(id), holder_partitions_(partitions), drop_(drop) {}
+
+  u32 holder_id() const { return holder_id_; }
+  u32 holder_partitions() const { return holder_partitions_; }
   /// Drop the cached copy of one partition. Returns true if a cached copy
-  /// was present and dropped.
-  virtual bool drop_cached(u32 partition) = 0;
+  /// was present and dropped. Called with the injector lock held; must only
+  /// take the holder's own (leaf) lock.
+  bool drop_cached(u32 partition) { return drop_(this, partition); }
+
+ private:
+  u32 holder_id_;
+  u32 holder_partitions_;
+  DropFn drop_;
 };
 
 class FaultInjector {
  public:
-  explicit FaultInjector(u32 nodes) : nodes_(nodes) {}
+  FaultInjector(const sim::ClusterConfig& cluster, FaultProfile profile);
+
+  const FaultProfile& profile() const { return profile_; }
+  u32 nodes() const { return nodes_; }
+
+  // --- cache registry + memory-pressure eviction -----------------------
 
   /// Called by RDDNode when persist() is enabled / the node dies.
   void register_holder(CacheHolder* holder);
   void unregister_holder(CacheHolder* holder);
+
+  /// True when executors have a finite cache budget (so Node<T> should
+  /// price its partitions and report inserts/hits).
+  bool cache_budget_enabled() const { return cache_budget_per_node_ > 0; }
+
+  /// A partition was just cached; admit it into the per-node LRU and evict
+  /// colder partitions if the node is over budget.
+  void note_cache_insert(u32 rdd_id, u32 partition, u64 bytes);
+  /// A cached partition was served; refresh its LRU position.
+  void note_cache_hit(u32 rdd_id, u32 partition);
 
   /// Drop one cached partition of one RDD. Returns false if no such RDD is
   /// registered.
@@ -49,21 +173,126 @@ class FaultInjector {
   /// partitions lost.
   u64 kill_executor(u32 node);
 
-  /// Number of partitions recomputed due to injected loss (bumped by the
-  /// RDD cache on a post-loss recompute).
-  u64 recomputations() const {
-    return recomputations_.load(std::memory_order_relaxed);
+  // --- deterministic injection draws -----------------------------------
+
+  /// Should this (stage attempt, task, attempt) launch fail? Pure function
+  /// of the profile seed and the arguments (plus the per-node bias).
+  bool draw_task_failure(u64 stage, u32 stage_attempt, u32 task, u32 attempt,
+                         u32 node) const;
+  /// Is this task a straggler? `copy` distinguishes the original run (0)
+  /// from speculative copies (>= 1).
+  bool draw_straggler(u64 stage, u32 task, u32 copy) const;
+
+  // --- placement + blacklisting ----------------------------------------
+
+  /// Simulated placement of task/partition `index`: index % nodes, remapped
+  /// to the next healthy node when the home node is blacklisted.
+  u32 node_of(u32 index) const;
+  /// Nodes currently accepting tasks (total minus blacklisted).
+  u32 live_nodes() const {
+    return nodes_ - blacklisted_count_.load(std::memory_order_relaxed);
   }
+
+  /// Record an injected task failure on `node`; blacklists it once it
+  /// reaches profile().blacklist_after failures (always keeping at least
+  /// one node live).
+  void note_task_failure(u32 node);
+
+  // --- always-on recovery statistics (independent of obs tracing) ------
+
+  /// Number of partitions recomputed due to loss (bumped by the RDD cache
+  /// on a post-loss recompute).
+  u64 recomputations() const { return recomputations_.load(); }
   void note_recomputation() {
     recomputations_.fetch_add(1, std::memory_order_relaxed);
     obs::count(obs::CounterId::kLineageRecomputes);
   }
 
+  void note_task_retry() {
+    task_retries_.fetch_add(1, std::memory_order_relaxed);
+    obs::count(obs::CounterId::kTaskRetries);
+  }
+  void note_stage_retry() {
+    stage_retries_.fetch_add(1, std::memory_order_relaxed);
+    obs::count(obs::CounterId::kStageRetries);
+  }
+  void note_straggler() {
+    stragglers_.fetch_add(1, std::memory_order_relaxed);
+    obs::count(obs::CounterId::kStragglersInjected);
+  }
+  void note_speculation(bool win) {
+    speculative_launches_.fetch_add(1, std::memory_order_relaxed);
+    obs::count(obs::CounterId::kSpeculativeLaunches);
+    if (win) {
+      speculative_wins_.fetch_add(1, std::memory_order_relaxed);
+      obs::count(obs::CounterId::kSpeculativeWins);
+    } else {
+      speculative_losses_.fetch_add(1, std::memory_order_relaxed);
+      obs::count(obs::CounterId::kSpeculativeLosses);
+    }
+  }
+
+  u64 task_failures() const { return task_failures_.load(); }
+  u64 task_retries() const { return task_retries_.load(); }
+  u64 stage_retries() const { return stage_retries_.load(); }
+  u64 stragglers() const { return stragglers_.load(); }
+  u64 speculative_launches() const { return speculative_launches_.load(); }
+  u64 speculative_wins() const { return speculative_wins_.load(); }
+  u64 speculative_losses() const { return speculative_losses_.load(); }
+  u64 cache_evictions() const { return cache_evictions_.load(); }
+  u64 cache_evicted_bytes() const { return cache_evicted_bytes_.load(); }
+  u64 blacklisted_nodes() const {
+    return blacklisted_count_.load(std::memory_order_relaxed);
+  }
+
  private:
+  struct CacheEntry {
+    u32 rdd_id;
+    u32 partition;
+    u64 bytes;
+  };
+  using LruList = std::list<CacheEntry>;
+
+  static u64 entry_key(u32 rdd_id, u32 partition) {
+    return (u64{rdd_id} << 32) | partition;
+  }
+
+  /// Uniform [0, 1) draw from the profile seed and three salts.
+  double draw_uniform(u64 a, u64 b, u64 c) const;
+
+  /// Remove one partition from the LRU accounting (lock held).
+  void forget_entry_locked(u32 rdd_id, u32 partition);
+  /// Evict LRU partitions until `node` is back under budget (lock held).
+  void evict_over_budget_locked(u32 node);
+
   u32 nodes_;
-  std::mutex mutex_;
+  FaultProfile profile_;
+  u64 cache_budget_per_node_;
+
+  mutable std::mutex mutex_;
   std::unordered_map<u32, CacheHolder*> holders_;
+
+  // Per-node LRU of cached partitions (front = coldest) + byte accounting.
+  std::vector<LruList> node_lru_;
+  std::vector<u64> node_cached_bytes_;
+  std::unordered_map<u64, std::pair<u32, LruList::iterator>> entries_;
+
+  // Blacklist state (guarded by mutex_; count mirrored in an atomic so
+  // node_of can take a fast path while nothing is blacklisted).
+  std::vector<u32> node_failures_;
+  std::vector<bool> node_blacklisted_;
+  std::atomic<u32> blacklisted_count_{0};
+
   std::atomic<u64> recomputations_{0};
+  std::atomic<u64> task_failures_{0};
+  std::atomic<u64> task_retries_{0};
+  std::atomic<u64> stage_retries_{0};
+  std::atomic<u64> stragglers_{0};
+  std::atomic<u64> speculative_launches_{0};
+  std::atomic<u64> speculative_wins_{0};
+  std::atomic<u64> speculative_losses_{0};
+  std::atomic<u64> cache_evictions_{0};
+  std::atomic<u64> cache_evicted_bytes_{0};
 };
 
 }  // namespace yafim::engine

@@ -8,8 +8,9 @@
 //   map-side-combine stage, hash-partition the results (accounting shuffle
 //   bytes), and run a reduce stage into a new materialized RDD.
 // * persist() caches computed partitions in (simulated) executor memory;
-//   a partition lost to fault injection is transparently recomputed from
-//   lineage (engine/fault.h).
+//   a partition lost to fault injection -- or LRU-evicted under a finite
+//   executor memory budget -- is transparently recomputed from lineage
+//   (engine/fault.h).
 // * Actions (collect/count/reduce) run on the driver thread and record one
 //   StageRecord per stage with deterministic per-task work counters.
 #pragma once
@@ -59,11 +60,13 @@ class Node : public CacheHolder {
   using Part = std::shared_ptr<const std::vector<T>>;
 
   Node(Context& ctx, u32 nparts)
-      : ctx_(ctx), id_(ctx.next_rdd_id()), nparts_(nparts) {
+      : CacheHolder(ctx.next_rdd_id(), nparts, &Node::drop_thunk),
+        ctx_(ctx),
+        nparts_(nparts) {
     YAFIM_CHECK(nparts_ > 0, "an RDD needs at least one partition");
   }
 
-  ~Node() override {
+  virtual ~Node() {
     if (persisted_) ctx_.fault_injector().unregister_holder(this);
   }
 
@@ -74,15 +77,19 @@ class Node : public CacheHolder {
   virtual std::vector<T> compute(u32 pid) = 0;
 
   Context& ctx() const { return ctx_; }
-  u32 id() const { return id_; }
+  u32 id() const { return holder_id(); }
   u32 num_partitions() const { return nparts_; }
 
   void persist() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (persisted_) return;
-    persisted_ = true;
-    cache_.resize(nparts_);
-    ever_cached_.assign(nparts_, false);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (persisted_) return;
+      persisted_ = true;
+      cache_.resize(nparts_);
+      ever_cached_.assign(nparts_, false);
+    }
+    // Outside our (leaf) lock: the injector takes its own lock and may call
+    // back into drop_cached (see the locking protocol in engine/fault.h).
     ctx_.fault_injector().register_holder(this);
   }
 
@@ -94,39 +101,65 @@ class Node : public CacheHolder {
   /// Cache-aware partition access.
   virtual Part get(u32 pid) {
     YAFIM_DCHECK(pid < nparts_, "partition out of range");
+    FaultInjector& injector = ctx_.fault_injector();
+    Part hit;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (persisted_ && cache_[pid]) {
         obs::count(obs::CounterId::kCacheHits);
-        return cache_[pid];
+        hit = cache_[pid];
       }
     }
-    auto data = std::make_shared<const std::vector<T>>(compute(pid));
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (!persisted_) return data;
-    if (!cache_[pid]) {
-      obs::count(obs::CounterId::kCacheMisses);
-      // A re-fill after a drop is a lineage recomputation (fault recovery).
-      if (ever_cached_[pid]) ctx_.fault_injector().note_recomputation();
-      cache_[pid] = std::move(data);
-      ever_cached_[pid] = true;
+    if (hit) {
+      // Outside our (leaf) lock: the LRU refresh may race with an eviction
+      // of this very partition, but `hit` keeps the data alive either way.
+      if (injector.cache_budget_enabled()) injector.note_cache_hit(id(), pid);
+      return hit;
     }
-    return cache_[pid];
-  }
-
-  // CacheHolder:
-  u32 holder_id() const override { return id_; }
-  u32 holder_partitions() const override { return nparts_; }
-  bool drop_cached(u32 pid) override {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (!persisted_ || pid >= nparts_ || !cache_[pid]) return false;
-    cache_[pid].reset();
-    return true;
+    auto data = std::make_shared<const std::vector<T>>(compute(pid));
+    // Priced only under a finite budget; byte_size walks the partition.
+    const u64 bytes =
+        injector.cache_budget_enabled() ? byte_size(*data) : 0;
+    bool inserted = false;
+    Part out;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!persisted_) return data;
+      if (!cache_[pid]) {
+        obs::count(obs::CounterId::kCacheMisses);
+        // A re-fill after a drop is a lineage recomputation (fault
+        // recovery / cache-pressure degradation).
+        if (ever_cached_[pid]) injector.note_recomputation();
+        cache_[pid] = std::move(data);
+        ever_cached_[pid] = true;
+        inserted = true;
+      }
+      out = cache_[pid];
+    }
+    if (inserted && injector.cache_budget_enabled()) {
+      // Outside our lock: admission may LRU-evict (possibly from this very
+      // node, taking our lock again from under the injector's).
+      injector.note_cache_insert(id(), pid, bytes);
+    }
+    return out;
   }
 
  private:
+  // CacheHolder drop thunk. Runs with the injector lock held, possibly
+  // concurrently with the derived destructors (~MapNode etc.); it must only
+  // touch Node<T> members, which are destroyed after ~Node's body has
+  // unregistered us.
+  static bool drop_thunk(CacheHolder* holder, u32 pid) {
+    auto* self = static_cast<Node*>(holder);
+    std::lock_guard<std::mutex> lock(self->mutex_);
+    if (!self->persisted_ || pid >= self->nparts_ || !self->cache_[pid]) {
+      return false;
+    }
+    self->cache_[pid].reset();
+    return true;
+  }
+
   Context& ctx_;
-  u32 id_;
   u32 nparts_;
 
   mutable std::mutex mutex_;

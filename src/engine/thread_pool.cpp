@@ -63,8 +63,19 @@ void ThreadPool::parallel_for(u32 n, const std::function<void(u32)>& f) {
   for (u32 i = 0; i < n; ++i) {
     futures.push_back(submit([&f, i] { f(i); }));
   }
-  // get() rethrows the first failure after all tasks are accounted for.
-  for (auto& fut : futures) fut.get();
+  // Drain EVERY future before rethrowing: an early get() throwing would
+  // unwind this frame while later tasks are still queued holding references
+  // to `f` (and to the caller's captures) -- a use-after-free. Only once
+  // all tasks are accounted for is the first failure rethrown.
+  std::exception_ptr first_error;
+  for (auto& fut : futures) {
+    try {
+      fut.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::worker_loop(u32 index) {

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "engine/bytes_of.h"
 #include "engine/context.h"
 #include "fim/result.h"
 
@@ -19,6 +20,13 @@ struct Rule {
   double confidence = 0.0;
   double lift = 0.0;
 };
+
+/// Serialized-size estimate (found by ADL from engine::byte_size users, e.g.
+/// when a persisted RDD<Rule> partition is priced for the cache budget).
+inline u64 byte_size(const Rule& r) {
+  return engine::byte_size(r.antecedent) + engine::byte_size(r.consequent) +
+         sizeof(r.support) + sizeof(r.confidence) + sizeof(r.lift);
+}
 
 struct RuleOptions {
   double min_confidence = 0.5;

@@ -130,7 +130,10 @@ class JobRunner {
     const std::vector<u8> raw = fs_.read(input_path);
     const std::vector<I> records = spec.decode_input(raw);
 
-    // Map phase (with optional combiner), hash-partitioned spill.
+    // Map phase (with optional combiner), hash-partitioned spill. Both
+    // phases funnel through Context::measure_tasks, the engine's fault
+    // boundary, so MapReduce jobs face the same injected failures, retries
+    // and stragglers as Spark stages (keeping the comparison fair).
     std::vector<std::vector<std::vector<std::pair<K, V>>>> map_out(map_tasks);
     std::atomic<u64> shuffle_bytes{0};
     std::optional<obs::Span> map_span;

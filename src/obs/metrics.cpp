@@ -17,6 +17,16 @@ const char* counter_name(CounterId id) {
     case CounterId::kCacheMisses: return "cache.misses";
     case CounterId::kLineageRecomputes: return "lineage.recomputes";
     case CounterId::kFaultPartitionsDropped: return "fault.partitions_dropped";
+    case CounterId::kTaskFailuresInjected: return "fault.task_failures";
+    case CounterId::kTaskRetries: return "fault.task_retries";
+    case CounterId::kStageRetries: return "fault.stage_retries";
+    case CounterId::kStragglersInjected: return "fault.stragglers";
+    case CounterId::kSpeculativeLaunches: return "speculation.launches";
+    case CounterId::kSpeculativeWins: return "speculation.wins";
+    case CounterId::kSpeculativeLosses: return "speculation.losses";
+    case CounterId::kCacheEvictions: return "cache.evictions";
+    case CounterId::kCacheEvictedBytes: return "cache.evicted_bytes";
+    case CounterId::kNodesBlacklisted: return "fault.nodes_blacklisted";
     case CounterId::kPoolTasks: return "pool.tasks";
     case CounterId::kPoolQueueWaitUs: return "pool.queue_wait_us";
     case CounterId::kPoolTaskRunUs: return "pool.task_run_us";

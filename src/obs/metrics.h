@@ -47,6 +47,16 @@ enum class CounterId : u32 {
   kCacheMisses,            ///< persisted partitions computed then cached
   kLineageRecomputes,      ///< post-loss recomputations (fault recovery)
   kFaultPartitionsDropped, ///< cached partitions dropped by the injector
+  kTaskFailuresInjected,   ///< task attempts killed by the FaultProfile
+  kTaskRetries,            ///< task relaunches after an injected failure
+  kStageRetries,           ///< stage re-attempts after task budget exhaustion
+  kStragglersInjected,     ///< tasks slowed down by the FaultProfile
+  kSpeculativeLaunches,    ///< speculative task copies launched
+  kSpeculativeWins,        ///< speculative copies that beat the original
+  kSpeculativeLosses,      ///< speculative copies the original beat
+  kCacheEvictions,         ///< partitions LRU-evicted under memory pressure
+  kCacheEvictedBytes,      ///< bytes freed by LRU evictions
+  kNodesBlacklisted,       ///< executors blacklisted after repeated failures
   kPoolTasks,              ///< tasks executed by the thread pool
   kPoolQueueWaitUs,        ///< total task time spent queued, microseconds
   kPoolTaskRunUs,          ///< total task run time, microseconds

@@ -47,6 +47,16 @@ struct ClusterConfig {
   /// recomputation re-parses each pass (modeled in the ablation).
   u64 record_parse_work = 2000;
 
+  /// Wait before relaunching a failed task attempt (scheduler backoff +
+  /// re-shipping the closure); charged once per retry by the cost model.
+  double task_retry_backoff_s = 1.0;
+
+  /// Per-node memory budget for persisted RDD partitions, in bytes. When a
+  /// node's cached partitions exceed this, the engine LRU-evicts the
+  /// coldest ones and later accesses recompute them from lineage. 0 models
+  /// the paper's assumption of executors with enough memory (unbounded).
+  u64 executor_cache_bytes = 0;
+
   /// HDFS block replication factor.
   u32 hdfs_replication = 3;
   /// HDFS block size.

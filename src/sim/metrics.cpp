@@ -46,8 +46,14 @@ double stage_seconds(const StageRecord& stage, const CostModel& model) {
   std::vector<double> durations;
   durations.reserve(stage.tasks.size());
   for (size_t i = 0; i < stage.tasks.size(); ++i) {
-    durations.push_back(model.compute_seconds(stage.tasks[i].work) +
-                        launch * launch_jitter(i));
+    const TaskRecord& task = stage.tasks[i];
+    // A task slot is occupied for: every launch's overhead, the work its
+    // failed attempts burned, the retry backoffs between launches, and the
+    // surviving attempt's work.
+    const u32 launches = std::max(1u, task.attempts);
+    durations.push_back(model.compute_seconds(task.work + task.wasted_work) +
+                        launch * launch_jitter(i) * launches +
+                        cluster.task_retry_backoff_s * (launches - 1));
   }
   double total = lpt_makespan(durations, cluster.total_cores());
 

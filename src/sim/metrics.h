@@ -33,6 +33,16 @@ enum class StageKind {
 struct TaskRecord {
   /// Abstract compute units (see sim::CostModel).
   u64 work = 0;
+  /// Launches of this task (1 + injected-failure retries). Each launch pays
+  /// the stage's task-launch overhead; each retry also pays the cluster's
+  /// relaunch backoff.
+  u32 attempts = 1;
+  /// Work units burned by failed attempts before they died (recharged on
+  /// top of `work`).
+  u64 wasted_work = 0;
+  /// True for a speculative copy raced against a straggler (extra record
+  /// appended to the stage; consumes a core like any task).
+  bool speculative = false;
 };
 
 /// One stage of execution with everything needed to price it later.

@@ -1,10 +1,15 @@
 // Fault-injection tests: lineage-based recovery of lost cached partitions
-// (the "resilient" in RDD).
+// (the "resilient" in RDD), injected task failures with bounded retries,
+// executor blacklisting, speculative execution, and memory-pressure LRU
+// eviction.
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <thread>
 
+#include "datagen/benchmarks.h"
 #include "engine/rdd.h"
+#include "fim/yafim.h"
 
 namespace yafim::engine {
 namespace {
@@ -13,6 +18,19 @@ Context::Options small_cluster() {
   Context::Options opts;
   opts.cluster = sim::ClusterConfig::with_nodes(4);
   opts.host_threads = 4;
+  // Tests below assert exact recovery counters; pin injection off so they
+  // hold unchanged when the whole binary runs under the CI fault matrix.
+  opts.fault = FaultProfile{};
+  return opts;
+}
+
+/// Profile with explicit knobs (ignores the environment for determinism).
+Context::Options faulty_cluster(double task_failure_p, double straggler_p,
+                                u64 seed) {
+  auto opts = small_cluster();
+  opts.fault.seed = seed;
+  opts.fault.task_failure_p = task_failure_p;
+  opts.fault.straggler_p = straggler_p;
   return opts;
 }
 
@@ -117,6 +135,235 @@ TEST(Fault, DroppedCacheHolderUnregisters) {
   }
   // The RDD is destroyed; the injector must not touch freed memory.
   EXPECT_FALSE(ctx.fault_injector().fail_partition(id, 0));
+}
+
+TEST(Fault, KillExecutorRacesWithCollectAndDestruction) {
+  // kill_executor walks every registered cache holder; racing it against
+  // collect() (cache fills) and ~Node (unregistration) used to be a
+  // use-after-free. Run under TSan in CI.
+  Context ctx(small_cluster());
+  for (int round = 0; round < 25; ++round) {
+    std::atomic<bool> started{false};
+    std::thread killer;
+    {
+      auto rdd = ctx.parallelize(iota(200), 8).map([](const int& x) {
+        return x + 1;
+      });
+      rdd.persist();
+      rdd.collect();
+      killer = std::thread([&] {
+        started.store(true);
+        for (u32 node = 0; node < 4; ++node) {
+          ctx.fault_injector().kill_executor(node);
+        }
+      });
+      while (!started.load()) std::this_thread::yield();
+      rdd.collect();
+    }  // ~Node unregisters while kills may still be in flight
+    killer.join();
+  }
+}
+
+TEST(FaultInjection, RetriesRecoverAndResultsMatchFaultFree) {
+  Context clean(small_cluster());
+  const auto expected = clean.parallelize(iota(500), 16)
+                            .map([](const int& x) { return x * 7; })
+                            .collect();
+
+  Context ctx(faulty_cluster(/*task_failure_p=*/0.2, /*straggler_p=*/0.0,
+                             /*seed=*/42));
+  const auto got = ctx.parallelize(iota(500), 16)
+                       .map([](const int& x) { return x * 7; })
+                       .collect();
+  EXPECT_EQ(got, expected);
+  const FaultInjector& inj = ctx.fault_injector();
+  EXPECT_GT(inj.task_failures(), 0u);
+  EXPECT_GT(inj.task_retries(), 0u);
+  EXPECT_GE(inj.task_failures(), inj.task_retries());
+}
+
+TEST(FaultInjection, ExhaustedAttemptBudgetThrowsStageFailed) {
+  auto opts = faulty_cluster(/*task_failure_p=*/1.0, /*straggler_p=*/0.0,
+                             /*seed=*/1);
+  opts.fault.blacklist_after = 0;  // no healthy node to escape to anyway
+  Context ctx(opts);
+  auto rdd = ctx.parallelize(iota(40), 4).map([](const int& x) { return x; });
+  try {
+    rdd.collect("doomed");
+    FAIL() << "expected StageFailedError";
+  } catch (const StageFailedError& e) {
+    EXPECT_EQ(e.stage(), "doomed");
+    EXPECT_EQ(e.failed_tasks(), 4u);  // every task exhausted its budget
+    EXPECT_EQ(e.stage_attempts(), 2u);
+    EXPECT_GT(ctx.fault_injector().stage_retries(), 0u);
+  }
+}
+
+TEST(FaultInjection, SickNodeGetsBlacklistedAndWorkContinues) {
+  auto opts = faulty_cluster(/*task_failure_p=*/0.02, /*straggler_p=*/0.0,
+                             /*seed=*/3);
+  opts.fault.node_failure_bias = {50.0};  // node 0 fails every attempt
+  opts.fault.blacklist_after = 2;
+  Context ctx(opts);
+  const auto got = ctx.parallelize(iota(400), 16)
+                       .map([](const int& x) { return x + 1; })
+                       .collect();
+  std::vector<int> expected(400);
+  std::iota(expected.begin(), expected.end(), 1);
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(ctx.fault_injector().blacklisted_nodes(), 1u);
+  EXPECT_EQ(ctx.fault_injector().live_nodes(), 3u);
+  // Placement now avoids node 0: its home tasks run on the next node.
+  EXPECT_EQ(ctx.fault_injector().node_of(0), 1u);
+  EXPECT_EQ(ctx.fault_injector().node_of(3), 3u);
+}
+
+TEST(FaultInjection, StragglersGetSpeculativeCopies) {
+  Context ctx(faulty_cluster(/*task_failure_p=*/0.0, /*straggler_p=*/0.25,
+                             /*seed=*/5));
+  const auto got = ctx.parallelize(iota(1000), 16)
+                       .map([](const int& x) { return x * 2; })
+                       .collect();
+  EXPECT_EQ(got.size(), 1000u);
+  const FaultInjector& inj = ctx.fault_injector();
+  EXPECT_GT(inj.stragglers(), 0u);
+  EXPECT_GT(inj.speculative_launches(), 0u);
+  // A straggler's copy re-draws the straggler odds, so most copies win.
+  EXPECT_GT(inj.speculative_wins(), 0u);
+  EXPECT_EQ(inj.speculative_wins() + inj.speculative_losses(),
+            inj.speculative_launches());
+}
+
+TEST(FaultInjection, InjectionDrawsAreReproducible) {
+  const auto opts = faulty_cluster(0.1, 0.1, 77);
+  Context a(opts), b(opts);
+  auto run = [](Context& ctx) {
+    return ctx.parallelize(iota(800), 24)
+        .map([](const int& x) { return std::pair<int, u64>(x % 13, 1); })
+        .reduce_by_key([](u64 l, u64 r) { return l + r; })
+        .collect_as_map();
+  };
+  EXPECT_EQ(run(a), run(b));
+  EXPECT_EQ(a.fault_injector().task_failures(),
+            b.fault_injector().task_failures());
+  EXPECT_EQ(a.fault_injector().task_retries(),
+            b.fault_injector().task_retries());
+  EXPECT_EQ(a.fault_injector().stragglers(), b.fault_injector().stragglers());
+  EXPECT_EQ(a.fault_injector().speculative_launches(),
+            b.fault_injector().speculative_launches());
+  EXPECT_EQ(a.fault_injector().speculative_wins(),
+            b.fault_injector().speculative_wins());
+  // Priced simulated time is part of the replay contract too.
+  EXPECT_DOUBLE_EQ(a.sim_seconds(), b.sim_seconds());
+}
+
+// --- memory-pressure cache eviction ------------------------------------
+
+TEST(CacheBudget, EvictsUnderPressureAndDegradesToRecompute) {
+  auto opts = small_cluster();
+  // 8 partitions of 250 ints (~1008 B each) over 4 nodes: two partitions
+  // per node, but budget fits only one -- every node must evict.
+  opts.cluster.executor_cache_bytes = 1500;
+  Context ctx(opts);
+  auto rdd = ctx.parallelize(iota(2000), 8).map([](const int& x) {
+    return x + 1;
+  });
+  rdd.persist();
+  const auto before = rdd.collect();
+  const FaultInjector& inj = ctx.fault_injector();
+  EXPECT_GE(inj.cache_evictions(), 4u);
+  EXPECT_GT(inj.cache_evicted_bytes(), 0u);
+
+  // Results survive the pressure; evicted partitions recompute by lineage.
+  EXPECT_EQ(rdd.collect(), before);
+  EXPECT_GT(inj.recomputations(), 0u);
+}
+
+TEST(CacheBudget, UnboundedBudgetNeverEvicts) {
+  Context ctx(small_cluster());  // executor_cache_bytes = 0 (unbounded)
+  auto rdd = ctx.parallelize(iota(2000), 8).map([](const int& x) {
+    return x + 1;
+  });
+  rdd.persist();
+  rdd.collect();
+  rdd.collect();
+  EXPECT_EQ(ctx.fault_injector().cache_evictions(), 0u);
+  EXPECT_EQ(ctx.fault_injector().recomputations(), 0u);
+}
+
+TEST(CacheBudget, LruOrderIsRespected) {
+  struct FakeHolder final : CacheHolder {
+    std::vector<u32> dropped;
+    explicit FakeHolder(u32 id) : CacheHolder(id, 16, &FakeHolder::drop) {}
+    static bool drop(CacheHolder* holder, u32 partition) {
+      static_cast<FakeHolder*>(holder)->dropped.push_back(partition);
+      return true;
+    }
+  };
+
+  sim::ClusterConfig cluster = sim::ClusterConfig::with_nodes(1);
+  cluster.executor_cache_bytes = 100;
+  FaultInjector inj(cluster, FaultProfile{});
+  FakeHolder holder(7);
+  inj.register_holder(&holder);
+
+  inj.note_cache_insert(7, 0, 40);
+  inj.note_cache_insert(7, 1, 40);
+  inj.note_cache_hit(7, 0);        // partition 1 is now the coldest
+  inj.note_cache_insert(7, 2, 40);  // 120 B > 100 B: evict one
+  ASSERT_EQ(holder.dropped, (std::vector<u32>{1}));
+  EXPECT_EQ(inj.cache_evictions(), 1u);
+  EXPECT_EQ(inj.cache_evicted_bytes(), 40u);
+
+  inj.unregister_holder(&holder);
+  // Everything the departed holder cached is forgotten: inserts by another
+  // holder fit without evicting.
+  FakeHolder other(8);
+  inj.register_holder(&other);
+  inj.note_cache_insert(8, 0, 90);
+  EXPECT_TRUE(other.dropped.empty());
+  inj.unregister_holder(&other);
+}
+
+// --- end-to-end: YAFIM under combined injection -------------------------
+
+TEST(FaultInjection, YafimMinesIdenticalItemsetsUnderInjection) {
+  const auto bench = datagen::make_mushroom(/*scale=*/0.1);
+  fim::YafimOptions yopt;
+  yopt.min_support = bench.paper_min_support;
+
+  Context clean_ctx(small_cluster());
+  simfs::SimFS clean_fs(clean_ctx.cluster());
+  const auto reference = fim::yafim_mine(clean_ctx, clean_fs, bench.db, yopt);
+
+  auto run_faulty = [&](Context& ctx) {
+    simfs::SimFS fs(ctx.cluster());
+    return fim::yafim_mine(ctx, fs, bench.db, yopt);
+  };
+  auto opts = faulty_cluster(/*task_failure_p=*/0.05, /*straggler_p=*/0.05,
+                             /*seed=*/9);
+  opts.cluster.executor_cache_bytes = 4096;  // force cache pressure
+
+  Context a(opts);
+  const auto mined_a = run_faulty(a);
+  EXPECT_TRUE(reference.itemsets.same_itemsets(mined_a.itemsets));
+  EXPECT_GT(a.fault_injector().task_retries(), 0u);
+  EXPECT_GT(a.fault_injector().stragglers(), 0u);
+  EXPECT_GT(a.fault_injector().speculative_wins(), 0u);
+  EXPECT_GT(a.fault_injector().cache_evictions(), 0u);
+
+  // Same profile, fresh context: bit-identical itemsets AND identical
+  // recovery counters (the injection draws are pure hashes).
+  Context b(opts);
+  const auto mined_b = run_faulty(b);
+  EXPECT_TRUE(mined_a.itemsets.same_itemsets(mined_b.itemsets));
+  EXPECT_EQ(a.fault_injector().task_failures(),
+            b.fault_injector().task_failures());
+  EXPECT_EQ(a.fault_injector().task_retries(),
+            b.fault_injector().task_retries());
+  EXPECT_EQ(a.fault_injector().stragglers(), b.fault_injector().stragglers());
+  EXPECT_EQ(a.fault_injector().speculative_launches(),
+            b.fault_injector().speculative_launches());
 }
 
 }  // namespace

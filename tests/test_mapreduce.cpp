@@ -151,7 +151,11 @@ TEST(MapReduce, DistributedCacheChargedPerNode) {
 }
 
 TEST(MapReduce, ExplicitTaskCounts) {
-  engine::Context ctx(small_cluster());
+  // Exact stage shapes: pin injection off (retries/speculative copies add
+  // task records), so this holds under the CI fault matrix too.
+  auto opts = small_cluster();
+  opts.fault = engine::FaultProfile{};
+  engine::Context ctx(opts);
   simfs::SimFS fs(ctx.cluster());
   fs.write("in", encode_lines(sample_lines()));
   auto spec = word_count_spec(true);

@@ -139,7 +139,11 @@ TEST(MrApriori, SlowerThanYafimOnSameWorkload) {
 
 TEST(MrApriori, ExplicitTaskCounts) {
   const auto db = random_db(12, 100, 0.5, 23);
-  engine::Context ctx(small_cluster());
+  // Exact stage shapes: pin injection off (speculative copies add task
+  // records), so this holds under the CI fault matrix too.
+  auto opts = small_cluster();
+  opts.fault = engine::FaultProfile{};
+  engine::Context ctx(opts);
   simfs::SimFS fs(ctx.cluster());
   MrAprioriOptions opt;
   opt.min_support = 0.3;

@@ -131,6 +131,28 @@ TEST(Metrics, MapPhasePaysJvmLaunch) {
   EXPECT_GT(stage_seconds(mr, m), stage_seconds(spark, m));
 }
 
+TEST(Metrics, RetriesAndWastedWorkArePriced) {
+  StageRecord clean;
+  clean.kind = StageKind::kSparkStage;
+  clean.tasks = {TaskRecord{1'000'000}};
+  StageRecord faulty = clean;
+  faulty.tasks[0].attempts = 3;  // two failed launches before success
+  faulty.tasks[0].wasted_work = 1'000'000;
+
+  const ClusterConfig cluster = ClusterConfig::paper();
+  const CostModel m{cluster};
+  const double delta = stage_seconds(faulty, m) - stage_seconds(clean, m);
+  // Each retry pays at least the relaunch backoff plus the burned work is
+  // recharged; the extra launch overheads come on top.
+  EXPECT_GE(delta, 2.0 * cluster.task_retry_backoff_s +
+                       m.compute_seconds(1'000'000) - 1e-9);
+
+  // Speculative copies are ordinary extra records occupying a core.
+  StageRecord speculated = clean;
+  speculated.tasks.push_back(TaskRecord{500'000, 1, 0, true});
+  EXPECT_GE(stage_seconds(speculated, m), stage_seconds(clean, m));
+}
+
 TEST(Metrics, OverheadStageIsFixed) {
   StageRecord s;
   s.kind = StageKind::kOverhead;

@@ -50,6 +50,29 @@ TEST(ThreadPool, ExceptionPropagatesThroughParallelFor) {
                std::logic_error);
 }
 
+TEST(ThreadPool, ParallelForDrainsAllTasksBeforeRethrow) {
+  // Regression: parallel_for used to rethrow on the FIRST failed future,
+  // unwinding its frame while later queued tasks still held references to
+  // the callable and the caller's locals (use-after-free under load).
+  // Task 0 throws immediately; every other task must still run and see the
+  // caller's state intact before the exception surfaces.
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<u32> ran{0};
+    auto sentinel = std::make_shared<int>(42);
+    try {
+      pool.parallel_for(64, [&ran, &sentinel](u32 i) {
+        if (i == 0) throw std::runtime_error("first task dies");
+        EXPECT_EQ(*sentinel, 42);
+        ran.fetch_add(1);
+      });
+      FAIL() << "expected the task 0 exception";
+    } catch (const std::runtime_error&) {
+    }
+    EXPECT_EQ(ran.load(), 63u);
+  }
+}
+
 TEST(ThreadPool, OnPoolThreadFlag) {
   ThreadPool pool(2);
   EXPECT_FALSE(ThreadPool::on_pool_thread());
