@@ -1,0 +1,115 @@
+// Microbenchmarks (google-benchmark) for the data-integrity layer: what
+// does per-block checksum verification cost on the clean path?
+//
+// Two views:
+//   * BM_SimFSRead{Verified,Unverified}: the raw read path. XXH64 runs at
+//     multiple GB/s but a SimFS read is little more than a memcpy, so the
+//     relative overhead here is the worst case.
+//   * BM_YafimMine{Verified,Unverified}: the acceptance view -- a whole
+//     mining run, where verification amortizes over real work and the
+//     clean-path overhead must stay within ~5% of the no-integrity
+//     baseline.
+// Plus BM_SnapshotEncode/Decode for the checkpoint codec.
+#include <benchmark/benchmark.h>
+
+#include "datagen/benchmarks.h"
+#include "fim/checkpoint.h"
+#include "fim/yafim.h"
+#include "simfs/simfs.h"
+#include "util/log.h"
+
+namespace {
+
+using namespace yafim;
+
+std::vector<u8> payload_bytes(size_t n) {
+  std::vector<u8> data(n);
+  for (size_t i = 0; i < n; ++i) data[i] = static_cast<u8>(i * 131 + 7);
+  return data;
+}
+
+void bench_read(benchmark::State& state, bool verify) {
+  simfs::SimFS fs(sim::ClusterConfig::paper(), sim::CorruptionProfile{});
+  fs.set_verify_checksums(verify);
+  fs.write("f", payload_bytes(static_cast<size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs.read("f"));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+
+void BM_SimFSReadVerified(benchmark::State& state) {
+  bench_read(state, true);
+}
+BENCHMARK(BM_SimFSReadVerified)->Arg(1 << 20)->Arg(16 << 20);
+
+void BM_SimFSReadUnverified(benchmark::State& state) {
+  bench_read(state, false);
+}
+BENCHMARK(BM_SimFSReadUnverified)->Arg(1 << 20)->Arg(16 << 20);
+
+void bench_mine(benchmark::State& state, bool verify) {
+  set_log_level(LogLevel::kWarn);
+  const auto bench = datagen::make_mushroom(/*scale=*/0.2);
+  fim::YafimOptions opt;
+  opt.min_support = bench.paper_min_support;
+  for (auto _ : state) {
+    engine::Context::Options copts;
+    copts.fault = engine::FaultProfile{};
+    engine::Context ctx(copts);
+    simfs::SimFS fs(ctx.cluster(), sim::CorruptionProfile{});
+    fs.set_verify_checksums(verify);
+    auto run = fim::yafim_mine(ctx, fs, bench.db, opt);
+    benchmark::DoNotOptimize(run.itemsets.total());
+  }
+}
+
+void BM_YafimMineVerified(benchmark::State& state) {
+  bench_mine(state, true);
+}
+BENCHMARK(BM_YafimMineVerified)->Unit(benchmark::kMillisecond);
+
+void BM_YafimMineUnverified(benchmark::State& state) {
+  bench_mine(state, false);
+}
+BENCHMARK(BM_YafimMineUnverified)->Unit(benchmark::kMillisecond);
+
+fim::CheckpointState snapshot_state(u32 itemsets) {
+  fim::CheckpointState state;
+  state.fingerprint = 42;
+  state.pass = 3;
+  state.num_transactions = 100000;
+  state.min_support_count = 500;
+  state.itemsets = fim::FrequentItemsets(500, 100000);
+  for (u32 i = 0; i < itemsets; ++i) {
+    state.itemsets.add({i, i + 1, i + 2}, 500 + i);
+  }
+  state.frontier = {{1, 2, 3}};
+  state.passes = {fim::PassStats{1, 100, 50, 1.0},
+                  fim::PassStats{2, 80, 40, 2.0},
+                  fim::PassStats{3, 60, 30, 3.0}};
+  return state;
+}
+
+void BM_SnapshotEncode(benchmark::State& state) {
+  const auto snap = snapshot_state(static_cast<u32>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fim::encode_snapshot(snap));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SnapshotEncode)->Arg(1000)->Arg(10000);
+
+void BM_SnapshotDecode(benchmark::State& state) {
+  const auto snap = snapshot_state(static_cast<u32>(state.range(0)));
+  const auto bytes = fim::encode_snapshot(snap);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fim::decode_snapshot(bytes, snap.fingerprint));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SnapshotDecode)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -15,14 +15,18 @@
 // --trace FILE records wall-clock spans (stages, tasks, YAFIM passes) and
 // counters, writes them as Chrome trace-event JSON (open in chrome://tracing
 // or https://ui.perfetto.dev), and prints the per-stage summary table.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "datagen/benchmarks.h"
 #include "fim/apriori_seq.h"
+#include "fim/checkpoint.h"
 #include "fim/eclat.h"
 #include "fim/fp_growth.h"
 #include "fim/mr_apriori.h"
@@ -44,25 +48,58 @@ struct Options {
   double rules_confidence = 0.0;  // 0 = no rules
   u64 top = 20;
   bool quiet = false;
+  /// Parse --input leniently: skip + count malformed lines instead of
+  /// letting them degrade silently.
+  bool lenient = false;
   /// Print the per-stage simulated-cost breakdown (parallel engines only).
   bool stages = false;
   /// Write a Chrome trace-event JSON of the run's wall-clock spans here.
   std::string trace_out;
+  /// Persist a per-pass snapshot here and resume from the newest valid one
+  /// (yafim / mrapriori only).
+  std::string checkpoint_dir;
+  /// Abandon the run after snapshotting this pass (crash simulation).
+  u32 stop_after_pass = 0;
+  /// Sleep this long after each snapshot -- widens the between-pass window
+  /// so an external kill (the CI crash-recovery smoke test's SIGKILL)
+  /// lands mid-run deterministically.
+  u64 pass_sleep_ms = 0;
 };
 
-[[noreturn]] void usage(const char* argv0) {
+/// All flag errors funnel through here: say what was wrong, show the
+/// usage, exit 2. (An earlier version exited without the usage text on
+/// some paths, e.g. an unknown --generate name.)
+[[noreturn]] void usage(const char* argv0, const std::string& error = "") {
+  if (!error.empty()) std::fprintf(stderr, "%s: %s\n", argv0, error.c_str());
   std::fprintf(
       stderr,
       "usage: %s [--input=FILE | --generate=NAME] [--minsup=F]\n"
       "          [--engine=yafim|mrapriori|apriori|fpgrowth|eclat]\n"
       "          [--rules=MIN_CONF] [--top=N] [--quiet] [--stages]\n"
-      "          [--trace FILE]\n"
+      "          [--lenient] [--trace FILE] [--checkpoint-dir=DIR]\n"
+      "          [--stop-after-pass=K] [--pass-sleep-ms=N]\n"
       "generate names: mushroom t10 chess pumsb medical\n"
+      "--lenient: skip + count malformed --input lines instead of\n"
+      "  silently taking each line's numeric prefix\n"
       "--trace FILE: write wall-clock spans + counters as Chrome\n"
       "  trace-event JSON (chrome://tracing, Perfetto) and print the\n"
-      "  per-stage summary table\n",
+      "  per-stage summary table\n"
+      "--checkpoint-dir=DIR: snapshot (Lk, pass stats) after every pass\n"
+      "  and resume from the newest valid snapshot on rerun (yafim and\n"
+      "  mrapriori). --stop-after-pass=K simulates a crash after pass K;\n"
+      "  --pass-sleep-ms=N widens the between-pass window for kill tests\n",
       argv0);
   std::exit(2);
+}
+
+bool known_engine(const std::string& engine) {
+  return engine == "yafim" || engine == "mrapriori" || engine == "apriori" ||
+         engine == "fpgrowth" || engine == "eclat";
+}
+
+bool known_generate(const std::string& name) {
+  return name == "mushroom" || name == "t10" || name == "chess" ||
+         name == "pumsb" || name == "medical";
 }
 
 Options parse(int argc, char** argv) {
@@ -86,18 +123,47 @@ Options parse(int argc, char** argv) {
       opt.top = std::strtoull(value("--top="), nullptr, 10);
     } else if (arg == "--quiet") {
       opt.quiet = true;
+    } else if (arg == "--lenient") {
+      opt.lenient = true;
     } else if (arg == "--stages") {
       opt.stages = true;
     } else if (arg.rfind("--trace=", 0) == 0) {
       opt.trace_out = value("--trace=");
     } else if (arg == "--trace" && i + 1 < argc) {
       opt.trace_out = argv[++i];
+    } else if (arg.rfind("--checkpoint-dir=", 0) == 0) {
+      opt.checkpoint_dir = value("--checkpoint-dir=");
+    } else if (arg.rfind("--stop-after-pass=", 0) == 0) {
+      opt.stop_after_pass = static_cast<u32>(
+          std::strtoul(value("--stop-after-pass="), nullptr, 10));
+    } else if (arg.rfind("--pass-sleep-ms=", 0) == 0) {
+      opt.pass_sleep_ms =
+          std::strtoull(value("--pass-sleep-ms="), nullptr, 10);
     } else {
-      usage(argv[0]);
+      usage(argv[0], "unknown flag: " + arg);
     }
   }
-  if (opt.minsup <= 0.0 || opt.minsup > 1.0) usage(argv[0]);
+  // Validate everything here so every bad invocation gets the same
+  // usage-and-exit-2 treatment, before any work happens.
+  if (opt.minsup <= 0.0 || opt.minsup > 1.0) {
+    usage(argv[0], "--minsup must be in (0, 1]");
+  }
+  if (!known_engine(opt.engine)) {
+    usage(argv[0], "unknown --engine: " + opt.engine);
+  }
   if (opt.input.empty() && opt.generate.empty()) opt.generate = "mushroom";
+  if (!opt.generate.empty() && !known_generate(opt.generate)) {
+    usage(argv[0], "unknown --generate name: " + opt.generate);
+  }
+  if (!opt.checkpoint_dir.empty() && opt.engine != "yafim" &&
+      opt.engine != "mrapriori") {
+    usage(argv[0], "--checkpoint-dir requires --engine=yafim|mrapriori");
+  }
+  if ((opt.stop_after_pass || opt.pass_sleep_ms) &&
+      opt.checkpoint_dir.empty()) {
+    usage(argv[0],
+          "--stop-after-pass/--pass-sleep-ms require --checkpoint-dir");
+  }
   return opt;
 }
 
@@ -107,7 +173,21 @@ fim::TransactionDB load(const Options& opt, double* minsup) {
     YAFIM_CHECK(file.good(), "cannot open --input file");
     std::ostringstream text;
     text << file.rdbuf();
-    return fim::TransactionDB::from_text(text.str());
+    auto db = fim::TransactionDB::from_text(
+        text.str(), opt.lenient ? fim::TransactionDB::ParseMode::kLenient
+                                : fim::TransactionDB::ParseMode::kStrict);
+    const fim::ParseStats& p = db.parse_stats();
+    if (p.malformed() > 0 && !opt.quiet) {
+      std::fprintf(stderr,
+                   "# skipped %llu malformed lines of %llu "
+                   "(bad tokens %llu, non-canonical %llu, overlong %llu)\n",
+                   (unsigned long long)p.malformed(),
+                   (unsigned long long)p.lines_total,
+                   (unsigned long long)p.bad_token_lines,
+                   (unsigned long long)p.noncanonical_lines,
+                   (unsigned long long)p.overlong_lines);
+    }
+    return db;
   }
   datagen::BenchmarkDataset bench;
   if (opt.generate == "mushroom") {
@@ -118,17 +198,37 @@ fim::TransactionDB load(const Options& opt, double* minsup) {
     bench = datagen::make_chess();
   } else if (opt.generate == "pumsb") {
     bench = datagen::make_pumsb_star();
-  } else if (opt.generate == "medical") {
+  } else {  // "medical" -- parse() already rejected unknown names
     bench = datagen::make_medical();
-  } else {
-    std::fprintf(stderr, "unknown --generate name: %s\n",
-                 opt.generate.c_str());
-    std::exit(2);
   }
   // Use the paper's threshold unless the user set one explicitly.
   if (*minsup == 0.1) *minsup = bench.paper_min_support;
   return std::move(bench.db);
 }
+
+/// DirCheckpointStore wrapper that dawdles after each snapshot. The CI
+/// crash-recovery smoke test SIGKILLs the process somewhere inside one of
+/// these sleeps, guaranteeing the kill lands between passes k and k+1
+/// rather than before the first snapshot or after the run finished.
+class SleepyCheckpointStore final : public fim::CheckpointStore {
+ public:
+  SleepyCheckpointStore(fim::CheckpointStore& inner, u64 sleep_ms)
+      : inner_(inner), sleep_ms_(sleep_ms) {}
+
+  void put(const std::string& name, const std::vector<u8>& bytes) override {
+    inner_.put(name, bytes);
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms_));
+  }
+  std::optional<std::vector<u8>> get(const std::string& name) override {
+    return inner_.get(name);
+  }
+  std::vector<std::string> list() override { return inner_.list(); }
+  void remove(const std::string& name) override { inner_.remove(name); }
+
+ private:
+  fim::CheckpointStore& inner_;
+  u64 sleep_ms_;
+};
 
 }  // namespace
 
@@ -159,16 +259,48 @@ int main(int argc, char** argv) {
   if (opt.engine == "yafim" || opt.engine == "mrapriori") {
     engine::Context ctx;
     simfs::SimFS fs(ctx.cluster());
+
+    std::unique_ptr<fim::DirCheckpointStore> dir_store;
+    std::unique_ptr<SleepyCheckpointStore> sleepy_store;
+    fim::CheckpointStore* store = nullptr;
+    if (!opt.checkpoint_dir.empty()) {
+      dir_store = std::make_unique<fim::DirCheckpointStore>(opt.checkpoint_dir);
+      store = dir_store.get();
+      if (opt.pass_sleep_ms > 0) {
+        sleepy_store = std::make_unique<SleepyCheckpointStore>(
+            *dir_store, opt.pass_sleep_ms);
+        store = sleepy_store.get();
+      }
+    }
+
     if (opt.engine == "yafim") {
       fim::YafimOptions mine_opt;
       mine_opt.min_support = opt.minsup;
+      mine_opt.checkpoint = store;
+      mine_opt.stop_after_pass = opt.stop_after_pass;
       run = fim::yafim_mine(ctx, fs, db, mine_opt);
     } else {
       fim::MrAprioriOptions mine_opt;
       mine_opt.min_support = opt.minsup;
+      mine_opt.checkpoint = store;
+      mine_opt.stop_after_pass = opt.stop_after_pass;
       run = fim::mr_apriori_mine(ctx, fs, db, mine_opt);
     }
     sim_seconds = run.total_seconds();
+    if (store && !opt.quiet) {
+      // Per-pass provenance: the crash-recovery harness asserts restored
+      // passes were skipped, not re-mined, from these lines.
+      if (run.resumed_pass > 0) {
+        std::printf("# resumed from checkpoint: passes 1..%u restored\n",
+                    run.resumed_pass);
+      }
+      for (const auto& pass : run.passes) {
+        std::printf("# pass %u: candidates=%llu frequent=%llu%s\n", pass.k,
+                    (unsigned long long)pass.candidates,
+                    (unsigned long long)pass.frequent,
+                    pass.k <= run.resumed_pass ? " (restored)" : " (mined)");
+      }
+    }
     if (opt.stages) {
       std::fputs(
           sim::format_report(ctx.report(), ctx.cost_model()).c_str(),
@@ -180,10 +312,8 @@ int main(int argc, char** argv) {
     run = fim::apriori_mine(db, mine_opt);
   } else if (opt.engine == "fpgrowth") {
     run = fim::fp_growth_mine(db, opt.minsup);
-  } else if (opt.engine == "eclat") {
+  } else {  // "eclat" -- parse() already rejected unknown engines
     run = fim::eclat_mine(db, opt.minsup);
-  } else {
-    usage(argv[0]);
   }
 
   if (tracing) {

@@ -36,6 +36,7 @@ FaultProfile FaultProfile::from_env() {
       env_u64("YAFIM_FAULT_BLACKLIST_AFTER", p.blacklist_after));
   p.speculation_multiple =
       env_double("YAFIM_FAULT_SPECULATION_MULTIPLE", p.speculation_multiple);
+  p.corrupt = sim::CorruptionProfile::from_env();
   return p;
 }
 
@@ -142,6 +143,16 @@ void FaultInjector::evict_over_budget_locked(u32 node) {
                   {"node", node},
                   {"bytes", victim.bytes}});
   }
+}
+
+void FaultInjector::note_cache_corruption(u32 rdd_id, u32 partition) {
+  cache_corruptions_.fetch_add(1, std::memory_order_relaxed);
+  obs::count(obs::CounterId::kCorruptRepairedLineage);
+  obs::instant("fault", "cache_corrupt",
+               {{"rdd", rdd_id}, {"partition", partition}});
+  if (!cache_budget_enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  forget_entry_locked(rdd_id, partition);
 }
 
 bool FaultInjector::fail_partition(u32 rdd_id, u32 partition) {

@@ -42,6 +42,7 @@
 
 #include "obs/metrics.h"
 #include "sim/cluster.h"
+#include "sim/corruption.h"
 #include "util/common.h"
 
 namespace yafim::engine {
@@ -85,6 +86,12 @@ struct FaultProfile {
   /// than this multiple of the stage median runtime gets a speculative copy
   /// launched on another node; the first finisher wins. 0 disables it.
   double speculation_multiple = 2.0;
+
+  /// Data-plane corruption (sim/corruption.h): bit flips in SimFS block
+  /// replicas and in cached RDD partition bytes. The engine consults
+  /// corrupt.cached_p on every cache hit; a corrupt partition is dropped
+  /// and recomputed from lineage (the same recovery path as a lost one).
+  sim::CorruptionProfile corrupt;
 
   bool enabled() const { return task_failure_p > 0.0 || straggler_p > 0.0; }
 
@@ -183,6 +190,12 @@ class FaultInjector {
   /// from speculative copies (>= 1).
   bool draw_straggler(u64 stage, u32 task, u32 copy) const;
 
+  /// Are the backing bytes of cached partition (rdd, partition) corrupt on
+  /// its `access`-th cache hit? Pure function of the corruption profile.
+  bool draw_cached_corruption(u32 rdd, u32 partition, u64 access) const {
+    return profile_.corrupt.draw_cached(rdd, partition, access);
+  }
+
   // --- placement + blacklisting ----------------------------------------
 
   /// Simulated placement of task/partition `index`: index % nodes, remapped
@@ -207,6 +220,13 @@ class FaultInjector {
     recomputations_.fetch_add(1, std::memory_order_relaxed);
     obs::count(obs::CounterId::kLineageRecomputes);
   }
+
+  /// A cache hit found corrupt backing bytes; the holder already dropped
+  /// its copy (under its own leaf lock) and will recompute from lineage.
+  /// Bumps the detection counter and forgets any stale LRU entry.
+  void note_cache_corruption(u32 rdd_id, u32 partition);
+
+  u64 cache_corruptions() const { return cache_corruptions_.load(); }
 
   void note_task_retry() {
     task_retries_.fetch_add(1, std::memory_order_relaxed);
@@ -293,6 +313,7 @@ class FaultInjector {
   std::atomic<u64> speculative_losses_{0};
   std::atomic<u64> cache_evictions_{0};
   std::atomic<u64> cache_evicted_bytes_{0};
+  std::atomic<u64> cache_corruptions_{0};
 };
 
 }  // namespace yafim::engine

@@ -87,6 +87,7 @@ class Node : public CacheHolder {
       persisted_ = true;
       cache_.resize(nparts_);
       ever_cached_.assign(nparts_, false);
+      hit_seq_.assign(nparts_, 0);
     }
     // Outside our (leaf) lock: the injector takes its own lock and may call
     // back into drop_cached (see the locking protocol in engine/fault.h).
@@ -103,13 +104,26 @@ class Node : public CacheHolder {
     YAFIM_DCHECK(pid < nparts_, "partition out of range");
     FaultInjector& injector = ctx_.fault_injector();
     Part hit;
+    bool corrupt = false;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (persisted_ && cache_[pid]) {
-        obs::count(obs::CounterId::kCacheHits);
-        hit = cache_[pid];
+        // Deterministic corruption draw per (rdd, partition, hit#): corrupt
+        // backing bytes are discarded here and the fall-through recompute
+        // below is the lineage repair (ever_cached_ stays true, so it is
+        // counted as a recovery recomputation).
+        if (injector.draw_cached_corruption(id(), pid, hit_seq_[pid]++)) {
+          cache_[pid].reset();
+          corrupt = true;
+        } else {
+          obs::count(obs::CounterId::kCacheHits);
+          hit = cache_[pid];
+        }
       }
     }
+    // Outside our (leaf) lock: the injector takes its own mutex to forget
+    // the stale LRU entry.
+    if (corrupt) injector.note_cache_corruption(id(), pid);
     if (hit) {
       // Outside our (leaf) lock: the LRU refresh may race with an eviction
       // of this very partition, but `hit` keeps the data alive either way.
@@ -166,6 +180,9 @@ class Node : public CacheHolder {
   bool persisted_ = false;
   std::vector<Part> cache_;
   std::vector<bool> ever_cached_;
+  /// Cache hits served per partition; salts the corruption draw so repeat
+  /// accesses get independent (but replay-stable) draws.
+  std::vector<u64> hit_seq_;
 };
 
 /// Data already resident per partition (parallelize(), shuffle outputs).

@@ -1,0 +1,240 @@
+#include "fim/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "obs/metrics.h"
+#include "simfs/simfs.h"
+#include "util/bytes.h"
+#include "util/checksum.h"
+
+namespace yafim::fim {
+
+namespace fs = std::filesystem;
+
+// --- stores --------------------------------------------------------------
+
+DirCheckpointStore::DirCheckpointStore(std::string dir)
+    : dir_(std::move(dir)) {
+  YAFIM_CHECK(!dir_.empty(), "checkpoint dir must be non-empty");
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  YAFIM_CHECK(!ec, "cannot create checkpoint dir");
+}
+
+void DirCheckpointStore::put(const std::string& name,
+                             const std::vector<u8>& bytes) {
+  const fs::path target = fs::path(dir_) / name;
+  const fs::path tmp = fs::path(dir_) / (name + ".tmp");
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    YAFIM_CHECK(out.good(), "cannot open checkpoint tmp file");
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    YAFIM_CHECK(out.good(), "cannot write checkpoint tmp file");
+  }
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+  YAFIM_CHECK(!ec, "cannot rename checkpoint into place");
+}
+
+std::optional<std::vector<u8>> DirCheckpointStore::get(
+    const std::string& name) {
+  std::ifstream in(fs::path(dir_) / name, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  std::vector<u8> bytes((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  if (in.bad()) return std::nullopt;
+  return bytes;
+}
+
+std::vector<std::string> DirCheckpointStore::list() {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    // Abandoned tmp files from a crash mid-put are not snapshots.
+    if (name.size() >= 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      continue;
+    }
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void DirCheckpointStore::remove(const std::string& name) {
+  std::error_code ec;
+  fs::remove(fs::path(dir_) / name, ec);
+}
+
+SimFSCheckpointStore::SimFSCheckpointStore(simfs::SimFS& fs,
+                                           std::string prefix)
+    : fs_(fs), prefix_(std::move(prefix)) {
+  if (!prefix_.empty() && prefix_.back() != '/') prefix_ += '/';
+}
+
+void SimFSCheckpointStore::put(const std::string& name,
+                               const std::vector<u8>& bytes) {
+  fs_.write(prefix_ + name, bytes);
+}
+
+std::optional<std::vector<u8>> SimFSCheckpointStore::get(
+    const std::string& name) {
+  try {
+    return fs_.read(prefix_ + name);
+  } catch (const simfs::SimFSError&) {
+    return std::nullopt;  // absent, or corrupt beyond replica repair
+  }
+}
+
+std::vector<std::string> SimFSCheckpointStore::list() {
+  std::vector<std::string> names;
+  for (const std::string& path : fs_.list(prefix_)) {
+    names.push_back(path.substr(prefix_.size()));
+  }
+  return names;
+}
+
+void SimFSCheckpointStore::remove(const std::string& name) {
+  fs_.remove(prefix_ + name);
+}
+
+// --- snapshot codec ------------------------------------------------------
+
+u64 checkpoint_fingerprint(std::string_view engine, u64 data_hash,
+                           u64 min_support_count, u64 extra) {
+  ByteWriter w;
+  w.write_string(std::string(engine));
+  w.write_u64(data_hash);
+  w.write_u64(min_support_count);
+  w.write_u64(extra);
+  return xxh64(w.data().data(), w.data().size());
+}
+
+std::string snapshot_name(u32 pass) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "pass-%04u.ck", pass);
+  return buf;
+}
+
+std::vector<u8> encode_snapshot(const CheckpointState& state) {
+  ByteWriter w;
+  w.write_u32(kSnapshotMagic);
+  w.write_u32(kSnapshotVersion);
+  w.write_u64(state.fingerprint);
+  w.write_u32(state.pass);
+  w.write_u64(state.num_transactions);
+  w.write_u64(state.min_support_count);
+  w.write_double(state.setup_seconds);
+  w.write_u64(state.aux);
+
+  w.write_u64(state.passes.size());
+  for (const PassStats& p : state.passes) {
+    w.write_u32(p.k);
+    w.write_u64(p.candidates);
+    w.write_u64(p.frequent);
+    w.write_double(p.sim_seconds);
+  }
+
+  // Levels sorted by (size, lex) so identical states encode to identical
+  // bytes regardless of hash-map iteration order.
+  const auto sorted = state.itemsets.sorted();
+  w.write_u64(sorted.size());
+  for (const auto& [itemset, support] : sorted) {
+    w.write_u32_vec(itemset);
+    w.write_u64(support);
+  }
+
+  std::vector<Itemset> frontier = state.frontier;
+  std::sort(frontier.begin(), frontier.end());
+  w.write_u64(frontier.size());
+  for (const Itemset& s : frontier) w.write_u32_vec(s);
+
+  w.write_u64(xxh64(w.data().data(), w.data().size()));
+  return w.take();
+}
+
+std::optional<CheckpointState> decode_snapshot(std::span<const u8> bytes,
+                                               u64 expected_fingerprint) {
+  // Validate before parsing: the trailing checksum must match the body.
+  // Only checksum-verified bytes reach the ByteReader, so its CHECKs can
+  // never fire on damaged input -- a torn or flipped snapshot is rejected
+  // here, whole.
+  constexpr size_t kMinBytes = 4 + 4 + 8 + 8;  // header + trailing checksum
+  if (bytes.size() < kMinBytes) return std::nullopt;
+  const size_t body = bytes.size() - 8;
+  u64 stored_sum;
+  std::memcpy(&stored_sum, bytes.data() + body, sizeof(stored_sum));
+  if (xxh64(bytes.data(), body) != stored_sum) return std::nullopt;
+
+  ByteReader r(bytes.first(body));
+  if (r.read_u32() != kSnapshotMagic) return std::nullopt;
+  if (r.read_u32() != kSnapshotVersion) return std::nullopt;
+
+  CheckpointState state;
+  state.fingerprint = r.read_u64();
+  if (state.fingerprint != expected_fingerprint) return std::nullopt;
+  state.pass = r.read_u32();
+  state.num_transactions = r.read_u64();
+  state.min_support_count = r.read_u64();
+  state.setup_seconds = r.read_double();
+  state.aux = r.read_u64();
+
+  const u64 npasses = r.read_u64();
+  state.passes.reserve(npasses);
+  for (u64 i = 0; i < npasses; ++i) {
+    PassStats p;
+    p.k = r.read_u32();
+    p.candidates = r.read_u64();
+    p.frequent = r.read_u64();
+    p.sim_seconds = r.read_double();
+    state.passes.push_back(p);
+  }
+
+  state.itemsets =
+      FrequentItemsets(state.min_support_count, state.num_transactions);
+  const u64 nsets = r.read_u64();
+  for (u64 i = 0; i < nsets; ++i) {
+    Itemset s = r.read_u32_vec();
+    const u64 support = r.read_u64();
+    state.itemsets.add(std::move(s), support);
+  }
+
+  const u64 nfrontier = r.read_u64();
+  state.frontier.reserve(nfrontier);
+  for (u64 i = 0; i < nfrontier; ++i) state.frontier.push_back(r.read_u32_vec());
+
+  if (!r.done()) return std::nullopt;
+  return state;
+}
+
+void save_snapshot(CheckpointStore& store, const CheckpointState& state) {
+  const std::vector<u8> bytes = encode_snapshot(state);
+  store.put(snapshot_name(state.pass), bytes);
+  obs::count(obs::CounterId::kCheckpointsWritten);
+  obs::count(obs::CounterId::kCheckpointBytesWritten, bytes.size());
+}
+
+std::optional<CheckpointState> load_latest_snapshot(CheckpointStore& store,
+                                                    u64 expected_fingerprint,
+                                                    u32* rejected) {
+  std::vector<std::string> names = store.list();
+  // snapshot_name zero-pads, so lexicographic order is pass order; probe
+  // newest-first and fall back past any damaged tail.
+  for (auto it = names.rbegin(); it != names.rend(); ++it) {
+    const auto bytes = store.get(*it);
+    if (bytes) {
+      auto state = decode_snapshot(*bytes, expected_fingerprint);
+      if (state) return state;
+    }
+    if (rejected) ++(*rejected);
+    obs::count(obs::CounterId::kCheckpointsRejected);
+  }
+  return std::nullopt;
+}
+
+}  // namespace yafim::fim

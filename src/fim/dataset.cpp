@@ -39,6 +39,7 @@ DatasetStats TransactionDB::stats() const {
                    static_cast<double>(tx_.size());
   }
   if (s.num_items > 0) s.density = s.avg_length / s.num_items;
+  s.parse = parse_stats_;
   return s;
 }
 
@@ -97,20 +98,76 @@ std::string TransactionDB::to_text() const {
   return out.str();
 }
 
-TransactionDB TransactionDB::from_text(const std::string& text) {
+namespace {
+
+bool is_field_space(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
+/// Parse one lenient-mode line: every token must be a pure decimal u32.
+/// Returns false (leaving *t in an unspecified state) on any bad token.
+bool parse_line_lenient(const std::string& line, Transaction* t) {
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && is_field_space(line[i])) ++i;
+    if (i >= line.size()) break;
+    u64 value = 0;
+    const size_t start = i;
+    while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+      value = value * 10 + static_cast<u64>(line[i] - '0');
+      if (value > 0xFFFFFFFFull) return false;
+      ++i;
+    }
+    if (i == start) return false;                          // non-numeric
+    if (i < line.size() && !is_field_space(line[i])) return false;  // "12x"
+    t->push_back(static_cast<Item>(value));
+  }
+  return true;
+}
+
+bool is_blank(const std::string& line) {
+  for (char c : line) {
+    if (!is_field_space(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TransactionDB TransactionDB::from_text(const std::string& text,
+                                       ParseMode mode) {
   std::vector<Transaction> tx;
+  ParseStats stats;
   std::istringstream lines(text);
   std::string line;
   while (std::getline(lines, line)) {
-    if (line.empty()) continue;
+    // Strict preserves the historical skip (only truly empty lines);
+    // lenient also ignores whitespace-only lines.
+    if (mode == ParseMode::kStrict ? line.empty() : is_blank(line)) continue;
+    ++stats.lines_total;
     Transaction t;
-    std::istringstream fields(line);
-    u64 item;
-    while (fields >> item) t.push_back(static_cast<Item>(item));
-    canonicalize(t);
+    if (mode == ParseMode::kStrict) {
+      std::istringstream fields(line);
+      u64 item;
+      while (fields >> item) t.push_back(static_cast<Item>(item));
+      canonicalize(t);
+    } else {
+      if (!parse_line_lenient(line, &t)) {
+        ++stats.bad_token_lines;
+        continue;
+      }
+      if (t.size() > kMaxTransactionItems) {
+        ++stats.overlong_lines;
+        continue;
+      }
+      if (!is_canonical(t)) {
+        ++stats.noncanonical_lines;
+        continue;
+      }
+    }
     tx.push_back(std::move(t));
   }
-  return TransactionDB(std::move(tx));
+  TransactionDB db(std::move(tx));
+  db.parse_stats_ = stats;
+  return db;
 }
 
 }  // namespace yafim::fim

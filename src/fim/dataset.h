@@ -13,6 +13,21 @@
 
 namespace yafim::fim {
 
+/// What the text parser saw. All-zero unless the DB came from from_text();
+/// the malformed counters stay zero in strict mode (which never skips).
+struct ParseStats {
+  u64 lines_total = 0;
+  /// Lines skipped by the lenient parser, by reason (their sum is the
+  /// number of transactions dropped relative to lines_total minus blanks).
+  u64 bad_token_lines = 0;     // non-numeric token or u32 overflow
+  u64 noncanonical_lines = 0;  // duplicate or unsorted items
+  u64 overlong_lines = 0;      // more than kMaxTransactionItems items
+
+  u64 malformed() const {
+    return bad_token_lines + noncanonical_lines + overlong_lines;
+  }
+};
+
 struct DatasetStats {
   u64 num_transactions = 0;
   /// Number of distinct items actually present.
@@ -23,6 +38,8 @@ struct DatasetStats {
   double max_length = 0.0;
   /// avg_length / num_items: how dense a bitmap view would be.
   double density = 0.0;
+  /// Text-parse provenance (see ParseStats).
+  ParseStats parse;
 };
 
 class TransactionDB {
@@ -59,11 +76,29 @@ class TransactionDB {
   static TransactionDB deserialize(std::span<const u8> bytes);
 
   // --- text interop (one transaction per line, items space-separated) --
+
+  /// kStrict is the historical behavior: each line contributes its leading
+  /// numeric tokens (parsing stops at the first non-numeric field) and the
+  /// result is canonicalized -- garbage degrades silently. kLenient treats
+  /// any anomaly (non-numeric token, duplicate/unsorted items, overlong
+  /// line) as a malformed line: the line is skipped and counted in
+  /// ParseStats instead of contaminating the database.
+  enum class ParseMode { kStrict, kLenient };
+
+  /// Lenient-mode ceiling on items per transaction; longer lines are
+  /// presumed framing damage (a lost newline glues transactions together).
+  static constexpr u32 kMaxTransactionItems = 1u << 16;
+
   std::string to_text() const;
-  static TransactionDB from_text(const std::string& text);
+  static TransactionDB from_text(const std::string& text,
+                                 ParseMode mode = ParseMode::kStrict);
+
+  /// Stats from the from_text() call that built this DB (zeros otherwise).
+  const ParseStats& parse_stats() const { return parse_stats_; }
 
  private:
   std::vector<Transaction> tx_;
+  ParseStats parse_stats_;
 };
 
 }  // namespace yafim::fim

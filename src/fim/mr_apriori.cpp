@@ -8,6 +8,8 @@
 #include "fim/hash_tree.h"
 #include "fim/mr_encode.h"
 #include "mapreduce/job.h"
+#include "obs/metrics.h"
+#include "util/checksum.h"
 
 namespace yafim::fim {
 
@@ -28,6 +30,8 @@ void price_passes(engine::Context& ctx, size_t first_stage, MiningRun& run) {
   const std::vector<double> by_pass = slice.pass_seconds(ctx.cost_model());
   run.setup_seconds = by_pass.empty() ? 0.0 : by_pass[0];
   for (PassStats& pass : run.passes) {
+    // Checkpoint-restored passes keep the snapshot's numbers.
+    if (pass.k <= run.resumed_pass) continue;
     pass.sim_seconds = pass.k < by_pass.size() ? by_pass[pass.k] : 0.0;
   }
 }
@@ -42,8 +46,8 @@ MiningRun mr_apriori_mine(engine::Context& ctx, simfs::SimFS& fs,
 
   // Driver-side setup knowledge: |D| for the absolute threshold. (In
   // PApriori the driver knows the dataset size a priori; not charged.)
-  const u64 num_transactions =
-      TransactionDB::deserialize(fs.read(input_path)).size();
+  const std::vector<u8> raw = fs.read(input_path);
+  const u64 num_transactions = TransactionDB::deserialize(raw).size();
   MiningRun run;
   if (num_transactions == 0) {
     run.itemsets = FrequentItemsets(1, 0);
@@ -56,6 +60,36 @@ MiningRun mr_apriori_mine(engine::Context& ctx, simfs::SimFS& fs,
                      1e-9)));
   run.itemsets = FrequentItemsets(min_count, num_transactions);
 
+  // Checkpoint/resume (same contract as yafim.cpp): snapshots are bound to
+  // this exact dataset + configuration via the fingerprint. MRApriori also
+  // persists prev_output_bytes (in aux) -- the driver's L(k-1) read-back
+  // cost on the first resumed job must match the uninterrupted run.
+  u64 fingerprint = 0;
+  std::optional<CheckpointState> restored;
+  if (options.checkpoint) {
+    fingerprint =
+        checkpoint_fingerprint("mrapriori", xxh64(raw.data(), raw.size()),
+                               min_count, options.max_levels);
+    restored = load_latest_snapshot(*options.checkpoint, fingerprint);
+  }
+  u64 prev_output_bytes = 0;
+  auto maybe_checkpoint = [&](u32 completed_pass,
+                              const std::vector<Itemset>& frontier) {
+    if (!options.checkpoint) return;
+    price_passes(ctx, first_stage, run);
+    CheckpointState state;
+    state.fingerprint = fingerprint;
+    state.pass = completed_pass;
+    state.num_transactions = num_transactions;
+    state.min_support_count = min_count;
+    state.setup_seconds = run.setup_seconds;
+    state.aux = prev_output_bytes;
+    state.passes = run.passes;
+    state.itemsets = run.itemsets;
+    state.frontier = frontier;
+    save_snapshot(*options.checkpoint, state);
+  };
+
   auto make_reduce = [min_count](const Itemset& key, std::vector<u64>& values)
       -> std::optional<CountPair> {
     u64 sum = 0;
@@ -65,34 +99,49 @@ MiningRun mr_apriori_mine(engine::Context& ctx, simfs::SimFS& fs,
   };
 
   // ---- Job 1: frequent items ------------------------------------------
-  ctx.set_pass(1);
-  Spec job1;
-  job1.name = "mrapriori:job1";
-  job1.decode_input = decode_transactions;
-  job1.map_fn = [](const Transaction& t, mr::Emitter<Itemset, u64>& emit) {
-    for (Item i : t) emit.emit(Itemset{i}, 1);
-  };
-  job1.combine_fn = [](const u64& a, const u64& b) { return a + b; };
-  job1.reduce_fn = make_reduce;
-  job1.encode_output = encode_counts;
-  job1.num_mappers = options.num_mappers;
-  job1.num_reducers = options.num_reducers;
-
-  auto result = runner.run(job1, input_path, options.work_dir + "/L1");
   std::vector<Itemset> frequent;
-  frequent.reserve(result.output.size());
-  for (const auto& [itemset, support] : result.output) {
-    run.itemsets.add(itemset, support);
-    frequent.push_back(itemset);
+  u32 last_completed = 1;
+  if (restored) {
+    run.resumed_pass = restored->pass;
+    run.passes = std::move(restored->passes);
+    run.itemsets = std::move(restored->itemsets);
+    frequent = std::move(restored->frontier);
+    prev_output_bytes = restored->aux;
+    last_completed = restored->pass;
+    obs::count(obs::CounterId::kCheckpointPassesSkipped, restored->pass);
+  } else {
+    ctx.set_pass(1);
+    Spec job1;
+    job1.name = "mrapriori:job1";
+    job1.decode_input = decode_transactions;
+    job1.map_fn = [](const Transaction& t, mr::Emitter<Itemset, u64>& emit) {
+      for (Item i : t) emit.emit(Itemset{i}, 1);
+    };
+    job1.combine_fn = [](const u64& a, const u64& b) { return a + b; };
+    job1.reduce_fn = make_reduce;
+    job1.encode_output = encode_counts;
+    job1.num_mappers = options.num_mappers;
+    job1.num_reducers = options.num_reducers;
+
+    auto result = runner.run(job1, input_path, options.work_dir + "/L1");
+    frequent.reserve(result.output.size());
+    for (const auto& [itemset, support] : result.output) {
+      run.itemsets.add(itemset, support);
+      frequent.push_back(itemset);
+    }
+    run.passes.push_back(
+        PassStats{1, result.output.size(), result.output.size(), 0.0});
+    prev_output_bytes = result.output_bytes;
+    maybe_checkpoint(1, frequent);
   }
-  run.passes.push_back(
-      PassStats{1, result.output.size(), result.output.size(), 0.0});
-  u64 prev_output_bytes = result.output_bytes;
 
   // ---- Jobs k >= 2 ------------------------------------------------------
-  for (u32 k = 2;
+  for (u32 k = last_completed + 1;
        !frequent.empty() && (options.max_levels == 0 || k <= options.max_levels);
        ++k) {
+    if (options.stop_after_pass && last_completed >= options.stop_after_pass) {
+      break;  // simulated crash: the last snapshot is the recovery point
+    }
     ctx.set_pass(k);
 
     // The driver reads L(k-1) back from HDFS to generate candidates.
@@ -142,8 +191,8 @@ MiningRun mr_apriori_mine(engine::Context& ctx, simfs::SimFS& fs,
     job.distributed_cache_bytes = tree->serialized_bytes();
 
     const u64 num_candidates = tree->size();
-    result = runner.run(job, input_path,
-                        options.work_dir + "/L" + std::to_string(k));
+    auto result = runner.run(job, input_path,
+                             options.work_dir + "/L" + std::to_string(k));
     frequent.clear();
     frequent.reserve(result.output.size());
     for (const auto& [itemset, support] : result.output) {
@@ -153,6 +202,8 @@ MiningRun mr_apriori_mine(engine::Context& ctx, simfs::SimFS& fs,
     run.passes.push_back(
         PassStats{k, num_candidates, result.output.size(), 0.0});
     prev_output_bytes = result.output_bytes;
+    last_completed = k;
+    maybe_checkpoint(k, frequent);
   }
 
   ctx.set_pass(0);

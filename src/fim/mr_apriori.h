@@ -12,6 +12,7 @@
 #include <string>
 
 #include "engine/context.h"
+#include "fim/checkpoint.h"
 #include "fim/dataset.h"
 #include "fim/result.h"
 #include "simfs/simfs.h"
@@ -34,6 +35,14 @@ struct MrAprioriOptions {
   /// Stop after this many levels (0 = run to completion). BigFIM uses this
   /// to run only the first k Apriori levels before switching to Eclat.
   u32 max_levels = 0;
+
+  /// Crash recovery (fim/checkpoint.h): same contract as YafimOptions --
+  /// snapshot after every completed job, resume from the newest valid
+  /// snapshot of the same dataset + configuration. Not owned.
+  CheckpointStore* checkpoint = nullptr;
+  /// Abandon the run after snapshotting this pass (0 = run to completion);
+  /// deterministic stand-in for a mid-run crash.
+  u32 stop_after_pass = 0;
 };
 
 /// Mine the dataset stored at `input_path` on `fs`. Cost is charged into

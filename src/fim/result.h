@@ -74,6 +74,10 @@ struct MiningRun {
   std::vector<PassStats> passes;
   /// Simulated seconds outside any pass (initial HDFS load for YAFIM).
   double setup_seconds = 0.0;
+  /// Passes k <= resumed_pass were restored from a checkpoint snapshot
+  /// rather than mined (their PassStats carry the original run's numbers);
+  /// 0 means the run started from scratch.
+  u32 resumed_pass = 0;
 
   double total_seconds() const {
     double total = setup_seconds;

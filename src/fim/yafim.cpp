@@ -10,7 +10,9 @@
 #include "engine/rdd.h"
 #include "fim/candidate_gen.h"
 #include "fim/hash_tree.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/checksum.h"
 
 namespace yafim::fim {
 
@@ -27,6 +29,9 @@ void price_passes(engine::Context& ctx, size_t first_stage, MiningRun& run) {
   const std::vector<double> by_pass = slice.pass_seconds(ctx.cost_model());
   run.setup_seconds = by_pass.empty() ? 0.0 : by_pass[0];
   for (PassStats& pass : run.passes) {
+    // Passes restored from a checkpoint were not executed here; keep the
+    // snapshot's numbers instead of zeroing them against this run's stages.
+    if (pass.k <= run.resumed_pass) continue;
     pass.sim_seconds = pass.k < by_pass.size() ? by_pass[pass.k] : 0.0;
   }
 }
@@ -74,6 +79,33 @@ MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
   run.itemsets = FrequentItemsets(min_count, num_transactions);
   if (num_transactions == 0) return run;
 
+  // Checkpoint/resume: the fingerprint binds snapshots to this exact input
+  // and configuration, so a store populated by a different dataset, support
+  // threshold or pass structure can never leak state into this run.
+  const u32 combine = std::max<u32>(1, options.combine_passes);
+  u64 fingerprint = 0;
+  std::optional<CheckpointState> restored;
+  if (options.checkpoint) {
+    fingerprint = checkpoint_fingerprint(
+        "yafim", xxh64(raw.data(), raw.size()), min_count, combine);
+    restored = load_latest_snapshot(*options.checkpoint, fingerprint);
+  }
+  auto maybe_checkpoint = [&](u32 completed_pass,
+                              const std::vector<Itemset>& frontier) {
+    if (!options.checkpoint) return;
+    price_passes(ctx, first_stage, run);  // snapshot carries priced passes
+    CheckpointState state;
+    state.fingerprint = fingerprint;
+    state.pass = completed_pass;
+    state.num_transactions = num_transactions;
+    state.min_support_count = min_count;
+    state.setup_seconds = run.setup_seconds;
+    state.passes = run.passes;
+    state.itemsets = run.itemsets;
+    state.frontier = frontier;
+    save_snapshot(*options.checkpoint, state);
+  };
+
   // textFile(...).map(_.getTransaction()): the map keeps the cached RDD a
   // lineage child of driver-held data, so lost partitions are recomputable.
   auto transactions =
@@ -86,38 +118,59 @@ MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
   }
 
   // ---- Phase I: frequent 1-itemsets (Algorithm 2) ----------------------
-  ctx.set_pass(1);
-  std::optional<obs::Span> pass1_span;
-  if (obs::enabled()) pass1_span.emplace("yafim", "yafim:pass1");
-  std::vector<CountPair> level =
-      transactions
-          .flat_map([](const Transaction& t) { return t; })
-          .map([](const Item& i) { return CountPair(Itemset{i}, 1); })
-          .reduce_by_key([](u64 a, u64 b) { return a + b; }, 0, ItemsetHash{},
-                         "phase1:count")
-          .filter([min_count](const CountPair& kv) {
-            return kv.second >= min_count;
-          })
-          .collect("phase1:collect");
-
+  // Skipped entirely when a valid snapshot was restored: the snapshot holds
+  // every completed level plus the frontier that seeds the next pass.
+  std::vector<CountPair> level;
   std::vector<Itemset> frequent;
-  frequent.reserve(level.size());
-  for (const auto& [itemset, support] : level) {
-    run.itemsets.add(itemset, support);
-    frequent.push_back(itemset);
-  }
-  run.passes.push_back(PassStats{1, level.size(), level.size(), 0.0});
-  if (pass1_span) {
-    pass1_span->arg("frequent", level.size());
-    pass1_span->end();
+  u32 last_completed = 1;
+  if (restored) {
+    run.resumed_pass = restored->pass;
+    run.passes = std::move(restored->passes);
+    run.itemsets = std::move(restored->itemsets);
+    frequent = std::move(restored->frontier);
+    last_completed = restored->pass;
+    obs::count(obs::CounterId::kCheckpointPassesSkipped, restored->pass);
+    if (obs::enabled()) {
+      obs::instant("yafim", "resume",
+                   {{"pass", restored->pass},
+                    {"itemsets", run.itemsets.total()}});
+    }
+  } else {
+    ctx.set_pass(1);
+    std::optional<obs::Span> pass1_span;
+    if (obs::enabled()) pass1_span.emplace("yafim", "yafim:pass1");
+    level =
+        transactions
+            .flat_map([](const Transaction& t) { return t; })
+            .map([](const Item& i) { return CountPair(Itemset{i}, 1); })
+            .reduce_by_key([](u64 a, u64 b) { return a + b; }, 0,
+                           ItemsetHash{}, "phase1:count")
+            .filter([min_count](const CountPair& kv) {
+              return kv.second >= min_count;
+            })
+            .collect("phase1:collect");
+
+    frequent.reserve(level.size());
+    for (const auto& [itemset, support] : level) {
+      run.itemsets.add(itemset, support);
+      frequent.push_back(itemset);
+    }
+    run.passes.push_back(PassStats{1, level.size(), level.size(), 0.0});
+    if (pass1_span) {
+      pass1_span->arg("frequent", level.size());
+      pass1_span->end();
+    }
+    maybe_checkpoint(1, frequent);
   }
 
   // ---- Phase II: Lk from L(k-1) (Algorithm 3) --------------------------
   // With combine_passes > 1, one cluster pass counts a batch of candidate
   // levels (levels beyond the first generated from candidates, a superset
   // of the true Ck -- results stay exact).
-  const u32 combine = std::max<u32>(1, options.combine_passes);
-  for (u32 k = 2; !frequent.empty();) {
+  for (u32 k = last_completed + 1; !frequent.empty();) {
+    if (options.stop_after_pass && last_completed >= options.stop_after_pass) {
+      break;  // simulated crash: the last snapshot is the recovery point
+    }
     ctx.set_pass(k);
     std::optional<obs::Span> pass_span;
     if (obs::enabled()) {
@@ -242,6 +295,8 @@ MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
       (void)support;
       frequent.push_back(itemset);
     }
+    last_completed = k + levels_in_batch - 1;
+    maybe_checkpoint(last_completed, frequent);
     k += levels_in_batch;
   }
 

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "engine/context.h"
+#include "fim/checkpoint.h"
 #include "fim/dataset.h"
 #include "fim/result.h"
 #include "simfs/simfs.h"
@@ -49,6 +50,17 @@ struct YafimOptions {
   /// than this -- candidates-from-candidates joins over a large unverified
   /// level explode combinatorially.
   u64 combine_candidate_budget = 20000;
+
+  /// Crash recovery (fim/checkpoint.h): when set, a snapshot of (Lk, pass
+  /// stats, config fingerprint) is persisted after every completed pass,
+  /// and mining first probes the store for the newest valid snapshot of
+  /// the same dataset + configuration, resuming after it instead of
+  /// restarting from pass 1. Not owned.
+  CheckpointStore* checkpoint = nullptr;
+  /// Abandon the run after snapshotting this pass (0 = run to completion).
+  /// Deterministic stand-in for a mid-run crash in tests and examples; the
+  /// returned run then holds only the completed passes.
+  u32 stop_after_pass = 0;
 };
 
 /// Mine the dataset stored at `input_path` on `fs` (a serialized

@@ -34,6 +34,17 @@ const char* counter_name(CounterId id) {
     case CounterId::kHashTreeCandChecks: return "hash_tree.candidate_checks";
     case CounterId::kCandidatesGenerated: return "candidates.generated";
     case CounterId::kCandidatesPruned: return "candidates.pruned";
+    case CounterId::kBlocksVerified: return "integrity.blocks_verified";
+    case CounterId::kBlocksCorrupt: return "integrity.blocks_corrupt";
+    case CounterId::kCorruptRepairedReplica:
+      return "integrity.repaired_by_replica";
+    case CounterId::kCorruptRepairedLineage:
+      return "integrity.repaired_by_lineage";
+    case CounterId::kCheckpointsWritten: return "checkpoint.written";
+    case CounterId::kCheckpointBytesWritten: return "checkpoint.bytes_written";
+    case CounterId::kCheckpointsRejected: return "checkpoint.rejected";
+    case CounterId::kCheckpointPassesSkipped:
+      return "checkpoint.passes_skipped";
     case CounterId::kNumCounters: break;
   }
   return "unknown";

@@ -64,6 +64,14 @@ enum class CounterId : u32 {
   kHashTreeCandChecks,     ///< candidate containment checks at leaves
   kCandidatesGenerated,    ///< itemsets emitted by apriori_gen
   kCandidatesPruned,       ///< joins rejected by the subset-presence prune
+  kBlocksVerified,         ///< SimFS blocks checksum-verified on read
+  kBlocksCorrupt,          ///< SimFS block replicas that failed verification
+  kCorruptRepairedReplica, ///< corrupt blocks repaired by a replica re-read
+  kCorruptRepairedLineage, ///< corrupt cached partitions recomputed
+  kCheckpointsWritten,     ///< per-pass snapshots persisted
+  kCheckpointBytesWritten, ///< bytes of snapshot payload persisted
+  kCheckpointsRejected,    ///< damaged/mismatched snapshots discarded on probe
+  kCheckpointPassesSkipped,///< completed passes restored instead of re-mined
   kNumCounters,
 };
 

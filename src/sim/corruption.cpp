@@ -1,0 +1,60 @@
+#include "sim/corruption.h"
+
+#include <cstdlib>
+
+#include "util/rng.h"
+
+namespace yafim::sim {
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value && *value ? std::atof(value) : fallback;
+}
+
+u64 env_u64(const char* name, u64 fallback) {
+  const char* value = std::getenv(name);
+  return value && *value ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+/// Uniform [0, 1) from a chain of mixed salts (same construction as the
+/// task-level injector's draw_uniform).
+double draw_uniform(u64 seed, u64 a, u64 b, u64 c) {
+  const u64 h = mix64(seed ^ mix64(a ^ mix64(b ^ mix64(c))));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+CorruptionProfile CorruptionProfile::from_env() {
+  CorruptionProfile p;
+  p.seed = env_u64("YAFIM_FAULT_SEED", p.seed);
+  p.block_p = env_double("YAFIM_FAULT_CORRUPT_BLOCK_P", p.block_p);
+  p.cached_p = env_double("YAFIM_FAULT_CORRUPT_CACHED_P", p.cached_p);
+  return p;
+}
+
+bool CorruptionProfile::draw_block(u64 path_hash, u64 block,
+                                   u32 attempt) const {
+  if (block_p <= 0.0) return false;
+  const u64 salt = (u64{attempt} << 48) ^ block;
+  return draw_uniform(seed, path_hash, salt, 0xB17F11) < block_p;
+}
+
+u64 CorruptionProfile::flip_bit(u64 path_hash, u64 block, u32 attempt,
+                                u64 block_bytes) const {
+  YAFIM_CHECK(block_bytes > 0, "flip_bit() needs a non-empty block");
+  const u64 salt = (u64{attempt} << 48) ^ block;
+  const u64 h = mix64(seed ^ mix64(path_hash ^ mix64(salt ^ 0xF11BB17)));
+  return h % (block_bytes * 8);
+}
+
+bool CorruptionProfile::draw_cached(u64 rdd, u32 partition,
+                                    u64 access) const {
+  if (cached_p <= 0.0) return false;
+  const u64 salt = (u64{partition} << 32) ^ access;
+  return draw_uniform(seed, rdd, salt, 0xCAC4ED) < cached_p;
+}
+
+}  // namespace yafim::sim

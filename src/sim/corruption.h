@@ -1,0 +1,59 @@
+// Deterministic data-corruption injection profile.
+//
+// The task-failure side of the fault model (engine/fault.h) kills task
+// attempts; this profile attacks the *data plane*: bit flips in SimFS block
+// replicas and in the backing bytes of cached RDD partitions. Like every
+// other fault knob in the repository, draws are pure hashes of the profile
+// seed plus stable coordinates -- (path, block, attempt) for DFS blocks,
+// (rdd, partition, access#) for cached partitions -- so a given profile
+// replays bit-identically regardless of host thread scheduling.
+//
+// It lives in the sim layer (not engine) because both SimFS (below the
+// engine) and the fault injector (inside it) consult the same profile:
+// engine/fault.h's FaultProfile embeds one, and SimFS defaults to the same
+// YAFIM_FAULT_* environment, so one env profile corrupts the whole stack.
+#pragma once
+
+#include <string_view>
+
+#include "util/common.h"
+
+namespace yafim::sim {
+
+/// All-zero (the default) disables corruption injection entirely.
+struct CorruptionProfile {
+  /// Seed salting every draw; shares YAFIM_FAULT_SEED with the task-level
+  /// profile so one seed reproduces a whole faulty run.
+  u64 seed = 0;
+
+  /// Probability that one (path, block, attempt) DFS block replica read is
+  /// served with a flipped bit. Detected by the block checksum; the read
+  /// retries the next replica (attempt + 1).
+  double block_p = 0.0;
+
+  /// Probability that one access to a cached RDD partition finds its
+  /// backing bytes corrupt. The cached copy is discarded and the partition
+  /// recomputed from lineage.
+  double cached_p = 0.0;
+
+  bool enabled() const { return block_p > 0.0 || cached_p > 0.0; }
+
+  /// Profile from YAFIM_FAULT_SEED, YAFIM_FAULT_CORRUPT_BLOCK_P and
+  /// YAFIM_FAULT_CORRUPT_CACHED_P (unset variables keep the zero defaults,
+  /// so an env-free process gets no injection).
+  static CorruptionProfile from_env();
+
+  /// Is replica `attempt` of block `block` of the file with path hash
+  /// `path_hash` corrupt? Pure function of the profile and arguments.
+  bool draw_block(u64 path_hash, u64 block, u32 attempt) const;
+
+  /// Which bit of a `block_bytes`-byte block gets flipped (same coordinates
+  /// as draw_block, so the damage is reproducible too).
+  u64 flip_bit(u64 path_hash, u64 block, u32 attempt, u64 block_bytes) const;
+
+  /// Is access number `access` to cached partition (rdd, partition)
+  /// corrupt? Pure function of the profile and arguments.
+  bool draw_cached(u64 rdd, u32 partition, u64 access) const;
+};
+
+}  // namespace yafim::sim

@@ -1,12 +1,45 @@
 #include "simfs/simfs.h"
 
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "util/checksum.h"
+
 namespace yafim::simfs {
+
+namespace {
+
+const char* kind_name(SimFSErrorKind kind) {
+  switch (kind) {
+    case SimFSErrorKind::kNotFound: return "not found";
+    case SimFSErrorKind::kCorrupt: return "unrecoverably corrupt";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+SimFSError::SimFSError(std::string path, SimFSErrorKind kind)
+    : std::runtime_error("simfs: '" + path + "' " + kind_name(kind)),
+      path_(std::move(path)),
+      kind_(kind) {}
 
 double SimFS::write(const std::string& path, std::vector<u8> data) {
   const u64 n = data.size();
   const double seconds = model_.dfs_write_seconds(n);
+
+  StoredFile file;
+  file.data = std::move(data);
+  const u32 nblocks = blocks_of(n);
+  file.block_sums.reserve(nblocks);
+  for (u32 b = 0; b < nblocks; ++b) {
+    const u64 offset = u64{b} * block_bytes();
+    const u64 len = std::min<u64>(block_bytes(), n - offset);
+    file.block_sums.push_back(xxh64(file.data.data() + offset, len));
+  }
+
   std::lock_guard<std::mutex> lock(mutex_);
-  files_[path] = std::move(data);
+  files_[path] = std::move(file);
   bytes_written_ += n;
   return seconds;
 }
@@ -15,10 +48,57 @@ std::vector<u8> SimFS::read(const std::string& path,
                             double* sim_seconds) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = files_.find(path);
-  YAFIM_CHECK(it != files_.end(), path.c_str());
-  bytes_read_ += it->second.size();
-  if (sim_seconds) *sim_seconds = model_.dfs_read_seconds(it->second.size());
-  return it->second;
+  if (it == files_.end()) throw SimFSError(path, SimFSErrorKind::kNotFound);
+  const StoredFile& file = it->second;
+  const u64 n = file.data.size();
+  bytes_read_ += n;
+  double seconds = model_.dfs_read_seconds(n);
+  std::vector<u8> out = file.data;
+
+  if (verify_) {
+    const u64 path_hash = xxh64(std::string_view(path));
+    const u32 nblocks = blocks_of(n);
+    const u32 replicas = std::max<u32>(1, cluster_.hdfs_replication);
+    for (u32 b = 0; b < nblocks; ++b) {
+      const u64 offset = u64{b} * block_bytes();
+      const u64 len = std::min<u64>(block_bytes(), n - offset);
+      bool ok = false;
+      for (u32 attempt = 0; attempt < replicas; ++attempt) {
+        if (attempt > 0) {
+          // Pull the block again from the next replica: restore the
+          // pristine bytes and charge another block read.
+          std::copy_n(file.data.begin() + static_cast<size_t>(offset), len,
+                      out.begin() + static_cast<size_t>(offset));
+          seconds += model_.dfs_read_seconds(len);
+        }
+        if (len > 0 && corrupt_.draw_block(path_hash, b, attempt)) {
+          const u64 bit = corrupt_.flip_bit(path_hash, b, attempt, len);
+          out[static_cast<size_t>(offset + bit / 8)] ^=
+              static_cast<u8>(1u << (bit % 8));
+          ++integrity_.corrupt_injected;
+        }
+        ++integrity_.blocks_verified;
+        obs::count(obs::CounterId::kBlocksVerified);
+        if (xxh64(out.data() + offset, len) == file.block_sums[b]) {
+          ok = true;
+          if (attempt > 0) {
+            ++integrity_.repaired_by_replica;
+            obs::count(obs::CounterId::kCorruptRepairedReplica);
+          }
+          break;
+        }
+        ++integrity_.corrupt_detected;
+        obs::count(obs::CounterId::kBlocksCorrupt);
+      }
+      if (!ok) {
+        ++integrity_.unrecoverable;
+        throw SimFSError(path, SimFSErrorKind::kCorrupt);
+      }
+    }
+  }
+
+  if (sim_seconds) *sim_seconds = seconds;
+  return out;
 }
 
 bool SimFS::exists(const std::string& path) const {
@@ -36,9 +116,8 @@ std::optional<FileStat> SimFS::stat(const std::string& path) const {
   auto it = files_.find(path);
   if (it == files_.end()) return std::nullopt;
   FileStat st;
-  st.bytes = it->second.size();
-  st.blocks = static_cast<u32>(
-      st.bytes == 0 ? 1 : ceil_div(st.bytes, cluster_.hdfs_block_bytes));
+  st.bytes = it->second.data.size();
+  st.blocks = blocks_of(st.bytes);
   return st;
 }
 
@@ -60,6 +139,26 @@ u64 SimFS::total_bytes_written() const {
 u64 SimFS::total_bytes_read() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return bytes_read_;
+}
+
+IntegrityStats SimFS::integrity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return integrity_;
+}
+
+void SimFS::set_verify_checksums(bool on) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  verify_ = on;
+}
+
+void SimFS::debug_corrupt(const std::string& path, u64 byte_index, u8 bit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  YAFIM_CHECK(it != files_.end(), "debug_corrupt: no such path");
+  YAFIM_CHECK(byte_index < it->second.data.size(),
+              "debug_corrupt: byte index out of range");
+  it->second.data[static_cast<size_t>(byte_index)] ^=
+      static_cast<u8>(1u << (bit % 8));
 }
 
 }  // namespace yafim::simfs

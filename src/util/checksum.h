@@ -1,0 +1,111 @@
+// XXH64: fast non-cryptographic checksum used for data-integrity checks.
+//
+// Every SimFS block and every checkpoint snapshot carries an XXH64 digest of
+// its payload, verified on read. XXH64 detects any single bit flip (and all
+// burst errors shorter than 64 bits) while running at near-memcpy speed, so
+// the clean-path verify cost is a small fraction of the read itself
+// (measured by bench/bench_integrity.cpp). Header-only; no state.
+#pragma once
+
+#include <cstring>
+
+#include "util/common.h"
+
+namespace yafim {
+
+namespace detail {
+
+constexpr u64 kXxhPrime1 = 0x9E3779B185EBCA87ULL;
+constexpr u64 kXxhPrime2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr u64 kXxhPrime3 = 0x165667B19E3779F9ULL;
+constexpr u64 kXxhPrime4 = 0x85EBCA77C2B2AE63ULL;
+constexpr u64 kXxhPrime5 = 0x27D4EB2F165667C5ULL;
+
+inline u64 xxh_rotl(u64 x, int r) { return (x << r) | (x >> (64 - r)); }
+
+inline u64 xxh_read64(const u8* p) {
+  u64 v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline u32 xxh_read32(const u8* p) {
+  u32 v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline u64 xxh_round(u64 acc, u64 input) {
+  acc += input * kXxhPrime2;
+  acc = xxh_rotl(acc, 31);
+  return acc * kXxhPrime1;
+}
+
+inline u64 xxh_merge_round(u64 h, u64 v) {
+  h ^= xxh_round(0, v);
+  return h * kXxhPrime1 + kXxhPrime4;
+}
+
+}  // namespace detail
+
+/// XXH64 digest of `len` bytes.
+inline u64 xxh64(const void* data, size_t len, u64 seed = 0) {
+  using namespace detail;
+  const u8* p = static_cast<const u8*>(data);
+  const u8* const end = p + len;
+  u64 h;
+
+  if (len >= 32) {
+    u64 v1 = seed + kXxhPrime1 + kXxhPrime2;
+    u64 v2 = seed + kXxhPrime2;
+    u64 v3 = seed;
+    u64 v4 = seed - kXxhPrime1;
+    const u8* const limit = end - 32;
+    do {
+      v1 = xxh_round(v1, xxh_read64(p));
+      v2 = xxh_round(v2, xxh_read64(p + 8));
+      v3 = xxh_round(v3, xxh_read64(p + 16));
+      v4 = xxh_round(v4, xxh_read64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = xxh_rotl(v1, 1) + xxh_rotl(v2, 7) + xxh_rotl(v3, 12) +
+        xxh_rotl(v4, 18);
+    h = xxh_merge_round(h, v1);
+    h = xxh_merge_round(h, v2);
+    h = xxh_merge_round(h, v3);
+    h = xxh_merge_round(h, v4);
+  } else {
+    h = seed + kXxhPrime5;
+  }
+
+  h += static_cast<u64>(len);
+  while (p + 8 <= end) {
+    h ^= xxh_round(0, xxh_read64(p));
+    h = xxh_rotl(h, 27) * kXxhPrime1 + kXxhPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<u64>(xxh_read32(p)) * kXxhPrime1;
+    h = xxh_rotl(h, 23) * kXxhPrime2 + kXxhPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<u64>(*p) * kXxhPrime5;
+    h = xxh_rotl(h, 11) * kXxhPrime1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kXxhPrime2;
+  h ^= h >> 29;
+  h *= kXxhPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+/// XXH64 of a string's bytes (path hashing for corruption draws).
+inline u64 xxh64(std::string_view s, u64 seed = 0) {
+  return xxh64(s.data(), s.size(), seed);
+}
+
+}  // namespace yafim

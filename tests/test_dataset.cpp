@@ -101,6 +101,63 @@ TEST(Dataset, FromTextCanonicalizesAndSkipsBlanks) {
   EXPECT_EQ(db.transactions()[1], (Transaction{7}));
 }
 
+TEST(Dataset, LenientParserSkipsAndCountsMalformedLines) {
+  const std::string text =
+      "1 2 3\n"        // ok
+      "4 x 5\n"        // non-numeric token
+      "2 2 9\n"        // duplicate item
+      "9 3\n"          // unsorted
+      "7\n"            // ok
+      "   \n"          // blank (ignored, not malformed)
+      "12abc\n"        // glued suffix
+      "5 6 7\n";       // ok
+  const auto db =
+      TransactionDB::from_text(text, TransactionDB::ParseMode::kLenient);
+  ASSERT_EQ(db.size(), 3u);
+  EXPECT_EQ(db.transactions()[0], (Transaction{1, 2, 3}));
+  EXPECT_EQ(db.transactions()[1], (Transaction{7}));
+  EXPECT_EQ(db.transactions()[2], (Transaction{5, 6, 7}));
+
+  const ParseStats& p = db.parse_stats();
+  EXPECT_EQ(p.lines_total, 7u);  // the blank line is not counted
+  EXPECT_EQ(p.bad_token_lines, 2u);
+  EXPECT_EQ(p.noncanonical_lines, 2u);
+  EXPECT_EQ(p.overlong_lines, 0u);
+  EXPECT_EQ(p.malformed(), 4u);
+  // The same counters surface through DatasetStats.
+  EXPECT_EQ(db.stats().parse.malformed(), 4u);
+}
+
+TEST(Dataset, LenientParserRejectsOverlongAndOverflow) {
+  std::string glued;
+  for (u32 i = 0; i <= TransactionDB::kMaxTransactionItems; ++i) {
+    glued += std::to_string(i);
+    glued += ' ';
+  }
+  glued += "\n1 2\n";
+  const auto db =
+      TransactionDB::from_text(glued, TransactionDB::ParseMode::kLenient);
+  ASSERT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.parse_stats().overlong_lines, 1u);
+
+  // An item that overflows u32 is a bad token, not a silent wrap.
+  const auto db2 = TransactionDB::from_text(
+      "99999999999\n3 4\n", TransactionDB::ParseMode::kLenient);
+  ASSERT_EQ(db2.size(), 1u);
+  EXPECT_EQ(db2.parse_stats().bad_token_lines, 1u);
+}
+
+TEST(Dataset, StrictParserKeepsHistoricalBehavior) {
+  // Strict takes the numeric prefix of each line and canonicalizes --
+  // exactly what it always did -- and reports zero malformed lines.
+  const auto db = TransactionDB::from_text("3 1 x 9\n2 2\n");
+  ASSERT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.transactions()[0], (Transaction{1, 3}));
+  EXPECT_EQ(db.transactions()[1], (Transaction{2}));
+  EXPECT_EQ(db.parse_stats().lines_total, 2u);
+  EXPECT_EQ(db.parse_stats().malformed(), 0u);
+}
+
 TEST(Dataset, CorruptPayloadAborts) {
   auto bytes = sample_db().serialize();
   bytes.resize(bytes.size() / 2);  // truncate mid-record
