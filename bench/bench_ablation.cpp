@@ -5,6 +5,8 @@
 //   3. Hash tree vs linear candidate scan (§IV-A, Fig. 2).
 //   4. SPC vs FPC vs DPC job-combining strategies on the MR substrate
 //      (related work, Lin et al.).
+#include <tuple>
+
 #include "common.h"
 #include "fim/spc_fpc_dpc.h"
 
@@ -28,10 +30,50 @@ double yafim_variant(const datagen::BenchmarkDataset& bench,
   return run.total_seconds();
 }
 
+/// One count-mode run; returns the pass>=2 counting-stage numbers the
+/// count-mode ablation compares (sim seconds of the count/collect/
+/// materialize stages, host wall-clock of the counting pipeline, shuffle
+/// bytes of the whole run).
+struct CountModeResult {
+  double count_sim_s = 0.0;
+  double count_host_s = 0.0;
+  u64 shuffle_bytes = 0;
+  u64 itemsets = 0;
+};
+
+CountModeResult yafim_count_mode(const datagen::BenchmarkDataset& bench,
+                                 fim::CountMode mode) {
+  engine::Context ctx(
+      engine::Context::Options{.cluster = sim::ClusterConfig::paper()});
+  simfs::SimFS fs(ctx.cluster());
+  fim::YafimOptions opt;
+  opt.min_support = bench.paper_min_support;
+  opt.count_mode = mode;
+  const auto run = fim::yafim_mine(ctx, fs, bench.db, opt);
+
+  CountModeResult res;
+  res.count_host_s = run.count_host_seconds;
+  res.shuffle_bytes = ctx.report().total_shuffle_bytes();
+  res.itemsets = run.itemsets.total();
+  for (const auto& stage : ctx.report().stages()) {
+    if (stage.pass < 2) continue;
+    const bool counting =
+        stage.label.find(":count") != std::string::npos ||
+        stage.label.find(":collect") != std::string::npos ||
+        stage.label.find(":materialize") != std::string::npos;
+    if (counting) {
+      res.count_sim_s += sim::stage_seconds(stage, ctx.cost_model());
+    }
+  }
+  return res;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv, /*default_scale=*/1.0);
+  BenchJson json;
+  json.note("bench", "ablation");
 
   std::printf("== Ablations (MushRoom Sup=35%% and T10I4D100K Sup=0.25%%, "
               "scale=%.2f) ==\n\n",
@@ -95,6 +137,40 @@ int main(int argc, char** argv) {
   }
   print_table(combine_table, args);
 
+  std::printf("\n-- Counting data structure: itemset-keyed shuffle vs dense "
+              "candidate-id arrays (pass>=2 counting stages) --\n");
+  Table countmode_table({"dataset", "mode", "count sim(s)", "count host(s)",
+                         "shuffle MB", "itemsets"});
+  for (const auto& bench : benches) {
+    const CountModeResult faithful =
+        yafim_count_mode(bench, fim::CountMode::kItemsetKey);
+    const CountModeResult dense =
+        yafim_count_mode(bench, fim::CountMode::kCandidateId);
+    YAFIM_CHECK(faithful.itemsets == dense.itemsets,
+                "count modes disagree on frequent itemsets");
+    for (const auto& [label, res, x] :
+         {std::tuple{"itemset_key", &faithful, 0.0},
+          std::tuple{"candidate_id", &dense, 1.0}}) {
+      countmode_table.add_row(
+          {bench.name, label, Table::num(res->count_sim_s),
+           Table::num(res->count_host_s, 3),
+           Table::num(static_cast<double>(res->shuffle_bytes) / 1e6, 2),
+           Table::num(res->itemsets)});
+      json.add("countmode_sim_s:" + bench.name, x, res->count_sim_s);
+      json.add("countmode_host_s:" + bench.name, x, res->count_host_s);
+      json.add("countmode_shuffle_mb:" + bench.name, x,
+               static_cast<double>(res->shuffle_bytes) / 1e6);
+    }
+    std::printf("  %s: host wall-clock %.2fx, counting sim %.2fx, "
+                "shuffle %.2fx (faithful / dense)\n",
+                bench.name.c_str(),
+                faithful.count_host_s / dense.count_host_s,
+                faithful.count_sim_s / dense.count_sim_s,
+                static_cast<double>(faithful.shuffle_bytes) /
+                    static_cast<double>(dense.shuffle_bytes));
+  }
+  print_table(countmode_table, args);
+
   std::printf("\n-- MapReduce job-combining strategies (Lin et al.) --\n");
   Table lin_table({"dataset", "strategy", "jobs", "speculative C",
                    "total(s)"});
@@ -116,5 +192,6 @@ int main(int argc, char** argv) {
     }
   }
   print_table(lin_table, args);
+  finish(args, &json);
   return 0;
 }

@@ -146,6 +146,56 @@ void BM_ReduceByKey(benchmark::State& state) {
 }
 BENCHMARK(BM_ReduceByKey)->Arg(10000)->Arg(100000);
 
+/// Counting-shaped shuffle: millions of input pairs collapsing onto a few
+/// distinct keys. Before the reservation cap, every map task reserved one
+/// hash slot per *input pair* (a ~48 MB table for 2^22 pairs over 16
+/// tasks); with the cap the combine table stays sized to the distinct-key
+/// count. The win shows up as bytes-allocated and wall-clock per
+/// iteration.
+void BM_ReduceByKeyFewKeys(benchmark::State& state) {
+  engine::Context::Options opts{.cluster = sim::ClusterConfig::with_nodes(2)};
+  opts.fault = engine::FaultProfile{};
+  engine::Context ctx(opts);
+  Rng rng(6);
+  std::vector<std::pair<u32, u64>> pairs;
+  const u64 n = state.range(0);
+  pairs.reserve(n);
+  for (u64 i = 0; i < n; ++i) {
+    pairs.emplace_back(static_cast<u32>(rng.below(64)), 1);
+  }
+  auto rdd = ctx.parallelize(std::move(pairs), 16);
+  rdd.persist();
+  (void)rdd.count();
+  for (auto _ : state) {
+    auto reduced = rdd.reduce_by_key([](u64 a, u64 b) { return a + b; });
+    benchmark::DoNotOptimize(reduced.count());
+    ctx.report().clear();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ReduceByKeyFewKeys)->Arg(1 << 20)->Arg(1 << 22);
+
+/// The dense counting merge the candidate-id path uses instead of the
+/// keyed shuffle above: same logical aggregation, element-wise over
+/// fixed-width arrays.
+void BM_SumArrays(benchmark::State& state) {
+  engine::Context::Options opts{.cluster = sim::ClusterConfig::with_nodes(2)};
+  opts.fault = engine::FaultProfile{};
+  engine::Context ctx(opts);
+  const size_t width = static_cast<size_t>(state.range(0));
+  std::vector<std::vector<u64>> arrays(16, std::vector<u64>(width, 1));
+  auto rdd = ctx.parallelize(std::move(arrays), 16);
+  rdd.persist();
+  (void)rdd.count();
+  for (auto _ : state) {
+    auto merged = rdd.sum_arrays(width);
+    benchmark::DoNotOptimize(merged.data());
+    ctx.report().clear();
+  }
+  state.SetItemsProcessed(state.iterations() * width * 16);
+}
+BENCHMARK(BM_SumArrays)->Arg(10000)->Arg(100000);
+
 /// Stage-launch machinery overhead: arg 0 = injection disabled (must stay
 /// on the near-zero-cost fast path), arg 1 = failures + stragglers injected
 /// (retry loop, speculation pass, deterministic draws).

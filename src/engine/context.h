@@ -29,6 +29,14 @@ class RDD;
 template <typename T>
 class Broadcast;
 
+/// Cap on map-side-combine hash reservations (RDD reduce_by_key and the
+/// MapReduce combiner). Reserving one slot per *input pair* is right when
+/// keys are mostly distinct, but in counting workloads (pass-2 Apriori:
+/// millions of hits, tens of thousands of distinct candidates) it allocates
+/// a hash table proportional to the hit count per task; distinct keys
+/// beyond the cap still insert normally via rehash.
+inline constexpr size_t kCombineReserveCap = size_t{1} << 16;
+
 /// How shared data reaches the workers (paper §IV-C): Spark broadcast
 /// variables (tree broadcast, the paper's choice) vs naively shipping a copy
 /// with every task through the driver (the bottleneck it calls out).

@@ -28,6 +28,7 @@
 #include "engine/broadcast.h"
 #include "engine/bytes_of.h"
 #include "engine/context.h"
+#include "engine/error.h"
 #include "engine/work.h"
 #include "obs/metrics.h"
 #include "simfs/simfs.h"
@@ -51,6 +52,18 @@ struct PairTraits<std::pair<K, V>> {
   static constexpr bool is_pair = true;
   using key_type = K;
   using mapped_type = V;
+};
+
+template <typename T>
+struct ArrayTraits {
+  static constexpr bool is_array = false;
+  using elem_type = void;
+};
+
+template <typename E>
+struct ArrayTraits<std::vector<E>> {
+  static constexpr bool is_array = true;
+  using elem_type = E;
 };
 
 /// Base lineage node: owns the partition cache and fault-recovery logic.
@@ -580,7 +593,7 @@ class RDD {
         [&](u32 pid) {
           auto in = node_->get(pid);
           std::unordered_map<K, V, Hash> acc;
-          acc.reserve(in->size());
+          acc.reserve(std::min(in->size(), kCombineReserveCap));
           for (const auto& [k, v] : *in) {
             work::add(1);
             auto [it, inserted] = acc.try_emplace(k, v);
@@ -896,7 +909,10 @@ class RDD {
       if (!p) continue;
       result = result ? f(*result, *p) : std::move(*p);
     }
-    YAFIM_CHECK(result.has_value(), "reduce() on an empty RDD");
+    if (!result) {
+      throw EngineError(EngineErrorKind::kEmptyReduce,
+                        "reduce() on an empty RDD");
+    }
     return *result;
   }
 
@@ -926,10 +942,13 @@ class RDD {
     return out;
   }
 
-  /// First element; aborts on an empty RDD (mirrors Spark's throw).
+  /// First element; throws EngineError on an empty RDD (mirrors Spark).
   T first() const {
     auto one = take(1, "first");
-    YAFIM_CHECK(!one.empty(), "first() on an empty RDD");
+    if (one.empty()) {
+      throw EngineError(EngineErrorKind::kEmptyFirst,
+                        "first() on an empty RDD");
+    }
     return std::move(one[0]);
   }
 
@@ -954,10 +973,77 @@ class RDD {
     std::unordered_map<K, V, Hash> out;
     for (auto& [k, v] : collect(label)) {
       auto [it, inserted] = out.emplace(std::move(k), std::move(v));
-      YAFIM_CHECK(inserted, "duplicate key in collect_as_map()");
+      if (!inserted) {
+        throw EngineError(EngineErrorKind::kDuplicateKey,
+                          "duplicate key in collect_as_map()");
+      }
       (void)it;
     }
     return out;
+  }
+
+  /// Element-wise sum of fixed-width numeric arrays -- the dense
+  /// counterpart of reduce_by_key for counting against a known universe of
+  /// `width` candidate ids. Every element must be a std::vector of exactly
+  /// `width` cells (EngineError{kArrayWidthMismatch} otherwise).
+  ///
+  /// Map side folds each partition's arrays into one accumulator, so
+  /// exactly one width-cell array per map task crosses the shuffle: priced
+  /// bytes are `map_tasks * byte_size(vector<E>(width))`, independent of
+  /// how many input arrays (or candidate hits) the partitions held -- the
+  /// whole point versus keying the shuffle on itemsets. Reduce side slices
+  /// the index space contiguously over tasks and sums the per-map
+  /// partials. Returns the fully merged array on the driver.
+  template <typename E = typename detail::ArrayTraits<T>::elem_type>
+    requires(detail::ArrayTraits<T>::is_array &&
+             std::is_arithmetic_v<typename detail::ArrayTraits<T>::elem_type>)
+  std::vector<E> sum_arrays(size_t width,
+                            const std::string& label = "sumArrays") const {
+    Context& ctx = node_->ctx();
+    const u32 map_tasks = node_->num_partitions();
+
+    std::vector<std::vector<E>> partials(map_tasks);
+    std::atomic<u64> shuffle_bytes{0};
+    std::atomic<bool> bad_width{false};
+    ctx.run_stage_with_shuffle(
+        label + ":map-combine", map_tasks,
+        [&](u32 pid) {
+          auto in = node_->get(pid);
+          std::vector<E> acc(width, E{});
+          for (const auto& arr : *in) {
+            if (arr.size() != width) {
+              bad_width.store(true, std::memory_order_relaxed);
+              return;
+            }
+            work::add(width);
+            for (size_t i = 0; i < width; ++i) acc[i] += arr[i];
+          }
+          shuffle_bytes.fetch_add(byte_size(acc), std::memory_order_relaxed);
+          partials[pid] = std::move(acc);
+        },
+        shuffle_bytes);
+    if (bad_width.load(std::memory_order_relaxed)) {
+      throw EngineError(
+          EngineErrorKind::kArrayWidthMismatch,
+          label + ": input array width != " + std::to_string(width));
+    }
+    obs::count(obs::CounterId::kArrayReduceBytes,
+               shuffle_bytes.load(std::memory_order_relaxed));
+
+    const u32 reduce_tasks = static_cast<u32>(std::max<size_t>(
+        1, std::min<size_t>(ctx.default_partitions(), width)));
+    std::vector<E> merged(width, E{});
+    ctx.run_stage(label + ":reduce", reduce_tasks, [&](u32 r) {
+      const size_t begin = width * r / reduce_tasks;
+      const size_t end = width * (r + 1) / reduce_tasks;
+      work::add(static_cast<u64>(end - begin) * map_tasks);
+      for (u32 m = 0; m < map_tasks; ++m) {
+        const auto& part = partials[m];
+        for (size_t i = begin; i < end; ++i) merged[i] += part[i];
+      }
+    });
+    obs::count(obs::CounterId::kArrayReduceCells, width);
+    return merged;
   }
 
   std::shared_ptr<detail::Node<T>> node() const { return node_; }
@@ -995,9 +1081,8 @@ inline RDD<std::string> Context::text_file(simfs::SimFS& fs,
   load.dfs_read_bytes = raw.size();
   const u32 tasks = static_cast<u32>(std::max<size_t>(
       1, std::min<size_t>(nparts, std::max<size_t>(1, lines.size()))));
-  load.tasks.assign(
-      tasks, sim::TaskRecord{lines.size() *
-                             (1 + cluster().record_parse_work) / tasks});
+  load.tasks = sim::split_work(
+      lines.size() * (1 + cluster().record_parse_work), tasks);
   record(std::move(load));
 
   return parallelize(std::move(lines), nparts);

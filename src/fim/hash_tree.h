@@ -14,8 +14,32 @@
 #include "engine/work.h"
 #include "fim/itemset.h"
 #include "obs/metrics.h"
+#include "util/rng.h"
 
 namespace yafim::fim {
+
+/// How the per-pass counting stage keys its shuffle (shared by both
+/// miners; see DESIGN "counting data structures").
+enum class CountMode {
+  /// Paper-faithful: shuffle keyed on full Itemset vectors.
+  kItemsetKey,
+  /// Dense: count into fixed-width arrays indexed by candidate id
+  /// (tree-local index + the tree's batch-global id offset); itemsets are
+  /// materialized from the broadcast tree only for MinSup survivors.
+  kCandidateId,
+};
+
+inline const char* count_mode_name(CountMode mode) {
+  return mode == CountMode::kItemsetKey ? "itemset_key" : "candidate_id";
+}
+
+/// Deterministic hash for dense candidate ids (std::hash<u32> is
+/// implementation-defined; shuffle partitioning must not depend on it).
+struct DenseIdHash {
+  size_t operator()(u32 id) const {
+    return static_cast<size_t>(mix64(u64{id} + 0x9e3779b97f4a7c15ULL));
+  }
+};
 
 class HashTree {
  public:
@@ -38,6 +62,23 @@ class HashTree {
 
   const Itemset& candidate(u32 idx) const { return candidates_[idx]; }
   const std::vector<Itemset>& candidates() const { return candidates_; }
+
+  /// Batch-global id base for this tree's candidates: when several levels
+  /// are counted in one pass (combine_passes), tree-local index `ci` maps
+  /// to global id `id_offset() + ci` in the shared counting array.
+  u64 id_offset() const { return id_offset_; }
+  void set_id_offset(u64 offset) { id_offset_ = offset; }
+
+  /// Assign consecutive id ranges to a batch of trees (offset of tree i =
+  /// sum of sizes of trees 0..i-1) and return the total id-space width.
+  static u64 assign_id_offsets(std::vector<HashTree>& trees) {
+    u64 offset = 0;
+    for (HashTree& tree : trees) {
+      tree.set_id_offset(offset);
+      offset += tree.size();
+    }
+    return offset;
+  }
 
   /// Estimated wire size when broadcast to workers (candidate payload plus
   /// node structure).
@@ -132,6 +173,7 @@ class HashTree {
   }
 
   std::vector<Itemset> candidates_;
+  u64 id_offset_ = 0;
   u32 k_ = 0;
   u32 branching_ = 8;
   u32 leaf_capacity_ = 16;

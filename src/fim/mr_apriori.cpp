@@ -10,6 +10,7 @@
 #include "mapreduce/job.h"
 #include "obs/metrics.h"
 #include "util/checksum.h"
+#include "util/stopwatch.h"
 
 namespace yafim::fim {
 
@@ -17,6 +18,8 @@ namespace {
 
 using CountPair = std::pair<Itemset, u64>;
 using Spec = mr::JobSpec<Transaction, Itemset, u64, CountPair, ItemsetHash>;
+/// Dense twin for jobs k >= 2: intermediate keys are candidate ids.
+using IdSpec = mr::JobSpec<Transaction, u32, u64, CountPair, DenseIdHash>;
 
 std::vector<Transaction> decode_transactions(const std::vector<u8>& bytes) {
   return TransactionDB::deserialize(bytes).release();
@@ -67,9 +70,12 @@ MiningRun mr_apriori_mine(engine::Context& ctx, simfs::SimFS& fs,
   u64 fingerprint = 0;
   std::optional<CheckpointState> restored;
   if (options.checkpoint) {
-    fingerprint =
-        checkpoint_fingerprint("mrapriori", xxh64(raw.data(), raw.size()),
-                               min_count, options.max_levels);
+    // count_mode folded in for the same reason as yafim.cpp: the modes
+    // price the k >= 2 shuffles differently, so snapshots must not mix.
+    fingerprint = checkpoint_fingerprint(
+        "mrapriori", xxh64(raw.data(), raw.size()), min_count,
+        options.max_levels +
+            (u64{static_cast<u32>(options.count_mode)} << 32));
     restored = load_latest_snapshot(*options.checkpoint, fingerprint);
   }
   u64 prev_output_bytes = 0;
@@ -168,31 +174,67 @@ MiningRun mr_apriori_mine(engine::Context& ctx, simfs::SimFS& fs,
       ctx.record(std::move(gen));
     }
 
-    Spec job;
-    job.name = "mrapriori:job" + std::to_string(k);
-    job.decode_input = decode_transactions;
-    const bool use_hash_tree = options.use_hash_tree;
-    job.map_fn = [tree, use_hash_tree](const Transaction& t,
-                                       mr::Emitter<Itemset, u64>& emit) {
-      auto on_hit = [&](u32 ci) { emit.emit(tree->candidate(ci), 1); };
-      if (use_hash_tree) {
-        static thread_local HashTree::Probe probe;
-        tree->for_each_contained(t, probe, on_hit);
-      } else {
-        tree->for_each_contained_linear(t, on_hit);
-      }
-    };
-    job.combine_fn = [](const u64& a, const u64& b) { return a + b; };
-    job.reduce_fn = make_reduce;
-    job.encode_output = encode_counts;
-    job.num_mappers = options.num_mappers;
-    job.num_reducers = options.num_reducers;
-    // Candidate hash tree travels to every node via the distributed cache.
-    job.distributed_cache_bytes = tree->serialized_bytes();
-
     const u64 num_candidates = tree->size();
-    auto result = runner.run(job, input_path,
-                             options.work_dir + "/L" + std::to_string(k));
+    const std::string job_name = "mrapriori:job" + std::to_string(k);
+    const std::string out_path = options.work_dir + "/L" + std::to_string(k);
+    const bool use_hash_tree = options.use_hash_tree;
+    Stopwatch count_clock;
+    mr::JobResult<CountPair> result;
+    if (options.count_mode == CountMode::kItemsetKey) {
+      // Paper-faithful: mappers emit (itemset, 1) for every hit.
+      Spec job;
+      job.name = job_name;
+      job.decode_input = decode_transactions;
+      job.map_fn = [tree, use_hash_tree](const Transaction& t,
+                                         mr::Emitter<Itemset, u64>& emit) {
+        auto on_hit = [&](u32 ci) { emit.emit(tree->candidate(ci), 1); };
+        if (use_hash_tree) {
+          static thread_local HashTree::Probe probe;
+          tree->for_each_contained(t, probe, on_hit);
+        } else {
+          tree->for_each_contained_linear(t, on_hit);
+        }
+      };
+      job.combine_fn = [](const u64& a, const u64& b) { return a + b; };
+      job.reduce_fn = make_reduce;
+      job.encode_output = encode_counts;
+      job.num_mappers = options.num_mappers;
+      job.num_reducers = options.num_reducers;
+      // Candidate hash tree travels to every node via the distributed cache.
+      job.distributed_cache_bytes = tree->serialized_bytes();
+      result = runner.run(job, input_path, out_path);
+    } else {
+      // Dense: mappers emit (candidate_id, 1); reducers sum, threshold,
+      // and map survivors back to itemsets through their copy of the tree
+      // (already localized via the distributed cache).
+      IdSpec job;
+      job.name = job_name;
+      job.decode_input = decode_transactions;
+      job.map_fn = [tree, use_hash_tree](const Transaction& t,
+                                         mr::Emitter<u32, u64>& emit) {
+        auto on_hit = [&](u32 ci) { emit.emit(ci, 1); };
+        if (use_hash_tree) {
+          static thread_local HashTree::Probe probe;
+          tree->for_each_contained(t, probe, on_hit);
+        } else {
+          tree->for_each_contained_linear(t, on_hit);
+        }
+      };
+      job.combine_fn = [](const u64& a, const u64& b) { return a + b; };
+      job.reduce_fn = [tree, min_count](const u32& ci, std::vector<u64>& values)
+          -> std::optional<CountPair> {
+        u64 sum = 0;
+        for (u64 v : values) sum += v;
+        if (sum < min_count) return std::nullopt;
+        return CountPair(tree->candidate(ci), sum);
+      };
+      job.encode_output = encode_counts;
+      job.num_mappers = options.num_mappers;
+      job.num_reducers = options.num_reducers;
+      job.distributed_cache_bytes = tree->serialized_bytes();
+      result = runner.run(job, input_path, out_path);
+    }
+    run.count_host_seconds += count_clock.seconds();
     frequent.clear();
     frequent.reserve(result.output.size());
     for (const auto& [itemset, support] : result.output) {

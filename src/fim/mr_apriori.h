@@ -14,6 +14,7 @@
 #include "engine/context.h"
 #include "fim/checkpoint.h"
 #include "fim/dataset.h"
+#include "fim/hash_tree.h"
 #include "fim/result.h"
 #include "simfs/simfs.h"
 
@@ -30,6 +31,11 @@ struct MrAprioriOptions {
   bool use_hash_tree = true;
   u32 branching = 0;  // 0 = auto (HashTree::default_branching)
   u32 leaf_capacity = 16;
+  /// Counting-shuffle key for jobs k >= 2 (matches YafimOptions so the
+  /// YAFIM-vs-MRApriori comparison stays apples-to-apples): kItemsetKey
+  /// shuffles full itemsets, kCandidateId shuffles dense candidate ids and
+  /// maps survivors back through the mapper-side tree in the reducer.
+  CountMode count_mode = CountMode::kCandidateId;
   /// Scratch directory on the DFS for per-iteration outputs.
   std::string work_dir = "hdfs://mrapriori";
   /// Stop after this many levels (0 = run to completion). BigFIM uses this

@@ -78,6 +78,10 @@ struct MiningRun {
   /// rather than mined (their PassStats carry the original run's numbers);
   /// 0 means the run started from scratch.
   u32 resumed_pass = 0;
+  /// Host wall-clock seconds spent in pass >= 2 counting stages (probe +
+  /// shuffle + support filter), the axis the count-mode ablation measures.
+  /// Not part of PassStats so checkpoint snapshots stay format-stable.
+  double count_host_seconds = 0.0;
 
   double total_seconds() const {
     double total = setup_seconds;

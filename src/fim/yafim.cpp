@@ -13,6 +13,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/checksum.h"
+#include "util/stopwatch.h"
 
 namespace yafim::fim {
 
@@ -65,9 +66,8 @@ MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
     stage.label = label;
     stage.kind = sim::StageKind::kSparkStage;
     stage.pass = ctx.pass();
-    const u64 per_task =
-        parse_records * (1 + ctx.cluster().record_parse_work) / load_tasks;
-    stage.tasks.assign(load_tasks, sim::TaskRecord{per_task});
+    stage.tasks = sim::split_work(
+        parse_records * (1 + ctx.cluster().record_parse_work), load_tasks);
     stage.dfs_read_bytes = raw.size();
     return stage;
   };
@@ -86,8 +86,12 @@ MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
   u64 fingerprint = 0;
   std::optional<CheckpointState> restored;
   if (options.checkpoint) {
+    // count_mode is folded in because the two modes price stages
+    // differently: resuming a faithful run's snapshot into a dense run (or
+    // vice versa) would splice incompatible per-pass timings together.
     fingerprint = checkpoint_fingerprint(
-        "yafim", xxh64(raw.data(), raw.size()), min_count, combine);
+        "yafim", xxh64(raw.data(), raw.size()), min_count,
+        combine + (u64{static_cast<u32>(options.count_mode)} << 32));
     restored = load_latest_snapshot(*options.checkpoint, fingerprint);
   }
   auto maybe_checkpoint = [&](u32 completed_pass,
@@ -237,33 +241,90 @@ MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
           parse_stage("pass" + std::to_string(k) + ":recompute lineage"));
     }
 
+    // Batch-global candidate ids: tree-local index + per-level offset, so
+    // one dense array spans every level counted this pass.
+    const u64 id_space = HashTree::assign_id_offsets(*trees);
+
     auto broadcast_trees = ctx.broadcast(trees, tree_bytes);
     const bool use_hash_tree = options.use_hash_tree;
-    level =
-        transactions
-            .flat_map([broadcast_trees, use_hash_tree](const Transaction& t) {
-              std::vector<Itemset> occurrences;
-              for (const HashTree& tree : **broadcast_trees) {
-                auto on_hit = [&](u32 ci) {
-                  occurrences.push_back(tree.candidate(ci));
-                };
-                if (use_hash_tree) {
-                  static thread_local HashTree::Probe probe;
-                  tree.for_each_contained(t, probe, on_hit);
-                } else {
-                  tree.for_each_contained_linear(t, on_hit);
+    const std::string pass_name = "pass" + std::to_string(k);
+    Stopwatch count_clock;
+    if (options.count_mode == CountMode::kItemsetKey) {
+      // Paper-faithful: every hit copies the itemset out of the tree and
+      // the shuffle is keyed on it.
+      level =
+          transactions
+              .flat_map([broadcast_trees,
+                         use_hash_tree](const Transaction& t) {
+                std::vector<Itemset> occurrences;
+                for (const HashTree& tree : **broadcast_trees) {
+                  auto on_hit = [&](u32 ci) {
+                    occurrences.push_back(tree.candidate(ci));
+                  };
+                  if (use_hash_tree) {
+                    static thread_local HashTree::Probe probe;
+                    tree.for_each_contained(t, probe, on_hit);
+                  } else {
+                    tree.for_each_contained_linear(t, on_hit);
+                  }
                 }
-              }
-              return occurrences;
-            })
-            .map([](const Itemset& c) { return CountPair(c, 1); })
-            .reduce_by_key([](u64 a, u64 b) { return a + b; }, 0,
-                           ItemsetHash{},
-                           "pass" + std::to_string(k) + ":count")
-            .filter([min_count](const CountPair& kv) {
-              return kv.second >= min_count;
-            })
-            .collect("pass" + std::to_string(k) + ":collect");
+                return occurrences;
+              })
+              .map([](const Itemset& c) { return CountPair(c, 1); })
+              .reduce_by_key([](u64 a, u64 b) { return a + b; }, 0,
+                             ItemsetHash{}, pass_name + ":count")
+              .filter([min_count](const CountPair& kv) {
+                return kv.second >= min_count;
+              })
+              .collect(pass_name + ":collect");
+    } else {
+      // Dense: each partition counts hits into one id-indexed array (no
+      // per-hit itemset copies), arrays merge element-wise across the
+      // shuffle, and itemsets are materialized from the broadcast tree
+      // only for MinSup survivors.
+      const std::vector<u64> counts =
+          transactions
+              .map_partitions([broadcast_trees, use_hash_tree,
+                               id_space](const std::vector<Transaction>& part) {
+                std::vector<u64> acc(id_space, 0);
+                for (const Transaction& t : part) {
+                  for (const HashTree& tree : **broadcast_trees) {
+                    u64* cells = acc.data() + tree.id_offset();
+                    auto on_hit = [cells](u32 ci) { ++cells[ci]; };
+                    if (use_hash_tree) {
+                      static thread_local HashTree::Probe probe;
+                      tree.for_each_contained(t, probe, on_hit);
+                    } else {
+                      tree.for_each_contained_linear(t, on_hit);
+                    }
+                  }
+                }
+                std::vector<std::vector<u64>> out;
+                out.push_back(std::move(acc));
+                return out;
+              })
+              .sum_arrays(id_space, pass_name + ":count");
+
+      engine::work::Scope mat_scope;
+      level.clear();
+      for (const HashTree& tree : *trees) {
+        const u64 base = tree.id_offset();
+        for (u32 ci = 0; ci < tree.size(); ++ci) {
+          engine::work::add(1);
+          const u64 support = counts[base + ci];
+          if (support >= min_count) {
+            level.emplace_back(tree.candidate(ci), support);
+          }
+        }
+      }
+      sim::StageRecord mat;
+      mat.label = pass_name + ":materialize";
+      mat.kind = sim::StageKind::kOverhead;
+      mat.pass = k;
+      mat.driver_work = mat_scope.measured();
+      ctx.record(std::move(mat));
+    }
+    run.count_host_seconds += count_clock.seconds();
 
     // Split the mixed-size result back into levels.
     std::vector<std::vector<CountPair>> by_level(levels_in_batch);

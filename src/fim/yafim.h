@@ -17,6 +17,7 @@
 #include "engine/context.h"
 #include "fim/checkpoint.h"
 #include "fim/dataset.h"
+#include "fim/hash_tree.h"
 #include "fim/result.h"
 #include "simfs/simfs.h"
 
@@ -34,6 +35,13 @@ struct YafimOptions {
   bool cache_transactions = true;
   /// probe candidates through the hash tree; off scans candidates linearly.
   bool use_hash_tree = true;
+
+  /// How Phase II counts candidate hits (fim/hash_tree.h). kItemsetKey is
+  /// the paper-faithful shuffle keyed on full itemsets; kCandidateId (the
+  /// default) counts into dense per-partition arrays indexed by candidate
+  /// id and merges them with sum_arrays(). Both yield bit-identical
+  /// FrequentItemsets; only the data structure and its pricing differ.
+  CountMode count_mode = CountMode::kCandidateId;
 
   /// Hash-tree tuning.
   u32 branching = 0;  // 0 = auto (HashTree::default_branching)

@@ -15,6 +15,7 @@
 // bytes, and all mining arithmetic runs for real on the host pool.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <functional>
 #include <optional>
@@ -169,7 +170,8 @@ class JobRunner {
       };
       if (spec.combine_fn) {
         std::unordered_map<K, V, Hash> combined;
-        combined.reserve(emitter.pairs().size());
+        combined.reserve(
+            std::min(emitter.pairs().size(), engine::kCombineReserveCap));
         for (auto& [k, v] : emitter.pairs()) {
           engine::work::add(1);
           auto [it, inserted] = combined.try_emplace(std::move(k), v);

@@ -45,6 +45,8 @@ const char* counter_name(CounterId id) {
     case CounterId::kCheckpointsRejected: return "checkpoint.rejected";
     case CounterId::kCheckpointPassesSkipped:
       return "checkpoint.passes_skipped";
+    case CounterId::kArrayReduceBytes: return "array_reduce.bytes";
+    case CounterId::kArrayReduceCells: return "array_reduce.cells";
     case CounterId::kNumCounters: break;
   }
   return "unknown";

@@ -72,6 +72,8 @@ enum class CounterId : u32 {
   kCheckpointBytesWritten, ///< bytes of snapshot payload persisted
   kCheckpointsRejected,    ///< damaged/mismatched snapshots discarded on probe
   kCheckpointPassesSkipped,///< completed passes restored instead of re-mined
+  kArrayReduceBytes,       ///< bytes crossing sum_arrays() shuffles
+  kArrayReduceCells,       ///< array cells merged by sum_arrays() reducers
   kNumCounters,
 };
 

@@ -26,6 +26,17 @@ double launch_jitter(u64 task_index) {
 
 }  // namespace
 
+std::vector<TaskRecord> split_work(u64 total_work, u32 ntasks) {
+  YAFIM_CHECK(ntasks > 0, "split_work needs >= 1 task");
+  std::vector<TaskRecord> tasks(ntasks);
+  const u64 per_task = total_work / ntasks;
+  const u64 extra = total_work % ntasks;
+  for (u32 t = 0; t < ntasks; ++t) {
+    tasks[t].work = per_task + (t < extra ? 1 : 0);
+  }
+  return tasks;
+}
+
 double stage_seconds(const StageRecord& stage, const CostModel& model) {
   const ClusterConfig& cluster = model.cluster();
 

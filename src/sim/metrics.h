@@ -73,6 +73,13 @@ struct StageRecord {
 /// Simulated duration of one stage under a cluster/cost model.
 double stage_seconds(const StageRecord& stage, const CostModel& model);
 
+/// Split `total_work` units over `ntasks` tasks as evenly as integers
+/// allow. The per-task work sums to exactly `total_work` (the first
+/// `total_work % ntasks` tasks carry one extra unit) -- use this instead
+/// of `total / ntasks` per task, which silently drops up to ntasks - 1
+/// units from the priced total.
+std::vector<TaskRecord> split_work(u64 total_work, u32 ntasks);
+
 class SimReport;
 
 /// Human-readable per-stage breakdown of a run (label, kind, pass, tasks,

@@ -1,0 +1,379 @@
+// Count-mode equivalence and pricing tests.
+//
+// The dense candidate-id counting path (CountMode::kCandidateId) must be
+// an exact drop-in for the paper-faithful itemset-keyed path: bit-identical
+// FrequentItemsets across pass batching, fault/corruption injection and
+// both engines, with mode-invariant observability counters (probe effort,
+// candidate generation) agreeing as well. Also covers the sum_arrays RDD
+// action the dense path is built on, the adversarial-hash reduce bucket
+// case, and the stage-pricing exactness fixes (split_work).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/error.h"
+#include "engine/rdd.h"
+#include "fim/apriori_seq.h"
+#include "fim/mr_apriori.h"
+#include "fim/yafim.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+
+namespace yafim::fim {
+namespace {
+
+engine::Context::Options small_cluster() {
+  engine::Context::Options opts;
+  opts.cluster = sim::ClusterConfig::with_nodes(3);
+  opts.host_threads = 4;
+  // Pin injection off so exact counter assertions hold even when the whole
+  // binary runs under the CI fault matrix; faulty cases opt in explicitly.
+  opts.fault = engine::FaultProfile{};
+  return opts;
+}
+
+TransactionDB random_db(u32 universe, int transactions, double density,
+                        u64 seed) {
+  Rng rng(seed);
+  std::vector<Transaction> tx;
+  for (int i = 0; i < transactions; ++i) {
+    Transaction t;
+    for (u32 item = 0; item < universe; ++item) {
+      if (rng.bernoulli(density)) t.push_back(item);
+    }
+    if (t.empty()) t.push_back(static_cast<Item>(rng.below(universe)));
+    tx.push_back(std::move(t));
+  }
+  return TransactionDB(std::move(tx));
+}
+
+MiningRun run_yafim(const TransactionDB& db, CountMode mode, u32 combine,
+                    engine::Context::Options copts = small_cluster()) {
+  engine::Context ctx(copts);
+  simfs::SimFS fs(ctx.cluster(), copts.fault.corrupt);
+  YafimOptions opt;
+  opt.min_support = 0.2;
+  opt.count_mode = mode;
+  opt.combine_passes = combine;
+  return yafim_mine(ctx, fs, db, opt);
+}
+
+// ---- bit-identity matrix ------------------------------------------------
+
+TEST(CountModes, YafimBitIdenticalAcrossModesAndBatching) {
+  const auto db = random_db(16, 250, 0.35, 42);
+  AprioriOptions sopt;
+  sopt.min_support = 0.2;
+  const auto seq = apriori_mine(db, sopt);
+  ASSERT_GT(seq.itemsets.total(), 0u);
+
+  for (u32 combine : {1u, 3u}) {
+    const auto faithful = run_yafim(db, CountMode::kItemsetKey, combine);
+    const auto dense = run_yafim(db, CountMode::kCandidateId, combine);
+    EXPECT_TRUE(faithful.itemsets.same_itemsets(seq.itemsets))
+        << "combine=" << combine;
+    EXPECT_TRUE(dense.itemsets.same_itemsets(faithful.itemsets))
+        << "combine=" << combine;
+    // Same candidate levels were generated and verified in both modes.
+    ASSERT_EQ(dense.passes.size(), faithful.passes.size());
+    for (size_t i = 0; i < dense.passes.size(); ++i) {
+      EXPECT_EQ(dense.passes[i].k, faithful.passes[i].k);
+      EXPECT_EQ(dense.passes[i].candidates, faithful.passes[i].candidates);
+      EXPECT_EQ(dense.passes[i].frequent, faithful.passes[i].frequent);
+    }
+  }
+}
+
+TEST(CountModes, YafimBitIdenticalUnderFaultInjection) {
+  const auto db = random_db(14, 200, 0.4, 7);
+  const auto reference = run_yafim(db, CountMode::kItemsetKey, 1);
+
+  for (CountMode mode : {CountMode::kItemsetKey, CountMode::kCandidateId}) {
+    for (u32 combine : {1u, 3u}) {
+      auto copts = small_cluster();
+      copts.fault.seed = 99;
+      copts.fault.task_failure_p = 0.05;
+      copts.fault.straggler_p = 0.05;
+      const auto run = run_yafim(db, mode, combine, copts);
+      EXPECT_TRUE(run.itemsets.same_itemsets(reference.itemsets))
+          << count_mode_name(mode) << " combine=" << combine;
+    }
+  }
+}
+
+TEST(CountModes, YafimBitIdenticalUnderCorruptionInjection) {
+  const auto db = random_db(14, 200, 0.4, 8);
+  const auto reference = run_yafim(db, CountMode::kItemsetKey, 1);
+
+  for (CountMode mode : {CountMode::kItemsetKey, CountMode::kCandidateId}) {
+    auto copts = small_cluster();
+    copts.cluster.hdfs_block_bytes = 1024;
+    copts.fault.corrupt.seed = 11;
+    copts.fault.corrupt.block_p = 0.05;
+    copts.fault.corrupt.cached_p = 0.1;
+    const auto run = run_yafim(db, mode, 1, copts);
+    EXPECT_TRUE(run.itemsets.same_itemsets(reference.itemsets))
+        << count_mode_name(mode);
+  }
+}
+
+TEST(CountModes, MrAprioriBitIdenticalAcrossModes) {
+  const auto db = random_db(16, 250, 0.35, 42);
+  const auto yafim_ref = run_yafim(db, CountMode::kCandidateId, 1);
+
+  for (CountMode mode : {CountMode::kItemsetKey, CountMode::kCandidateId}) {
+    engine::Context ctx(small_cluster());
+    simfs::SimFS fs(ctx.cluster());
+    MrAprioriOptions opt;
+    opt.min_support = 0.2;
+    opt.count_mode = mode;
+    const auto run = mr_apriori_mine(ctx, fs, db, opt);
+    EXPECT_TRUE(run.itemsets.same_itemsets(yafim_ref.itemsets))
+        << count_mode_name(mode);
+  }
+}
+
+// ---- observability-counter agreement ------------------------------------
+
+/// Counters that must not depend on how the counting shuffle is keyed:
+/// probe effort and candidate generation happen identically in both modes.
+const obs::CounterId kModeInvariantCounters[] = {
+    obs::CounterId::kHashTreeNodesVisited,
+    obs::CounterId::kHashTreeCandChecks,
+    obs::CounterId::kCandidatesGenerated,
+    obs::CounterId::kCandidatesPruned,
+    obs::CounterId::kBroadcastBytes,
+    obs::CounterId::kDfsReadBytes,
+};
+
+std::vector<u64> traced_counters(const TransactionDB& db, CountMode mode,
+                                 u32 combine,
+                                 engine::Context::Options copts) {
+  obs::CounterRegistry::instance().reset_all();
+  obs::set_enabled(true);
+  (void)run_yafim(db, mode, combine, copts);
+  obs::set_enabled(false);
+  std::vector<u64> values;
+  for (obs::CounterId id : kModeInvariantCounters) {
+    values.push_back(obs::counter_value(id));
+  }
+  return values;
+}
+
+TEST(CountModes, ModeInvariantCountersAgree) {
+  const auto db = random_db(15, 220, 0.35, 21);
+  for (u32 combine : {1u, 3u}) {
+    const auto faithful =
+        traced_counters(db, CountMode::kItemsetKey, combine, small_cluster());
+    const auto dense =
+        traced_counters(db, CountMode::kCandidateId, combine, small_cluster());
+    ASSERT_EQ(faithful.size(), dense.size());
+    for (size_t i = 0; i < faithful.size(); ++i) {
+      EXPECT_EQ(faithful[i], dense[i])
+          << obs::counter_name(kModeInvariantCounters[i])
+          << " combine=" << combine;
+    }
+    // The probes did real work in both runs.
+    EXPECT_GT(dense[0], 0u) << "hash-tree probes missing";
+  }
+}
+
+TEST(CountModes, CountersReproducibleUnderFaultInjection) {
+  // Under injection the retry schedule perturbs probe counters, so the
+  // cross-mode comparison no longer applies; what must still hold is exact
+  // run-to-run reproducibility for a fixed (mode, seed).
+  const auto db = random_db(14, 180, 0.4, 5);
+  for (CountMode mode : {CountMode::kItemsetKey, CountMode::kCandidateId}) {
+    auto copts = small_cluster();
+    copts.fault.seed = 123;
+    copts.fault.task_failure_p = 0.08;
+    const auto first = traced_counters(db, mode, 1, copts);
+    const auto second = traced_counters(db, mode, 1, copts);
+    EXPECT_EQ(first, second) << count_mode_name(mode);
+  }
+}
+
+// ---- sum_arrays ---------------------------------------------------------
+
+TEST(SumArrays, ElementwiseSumAcrossPartitions) {
+  engine::Context ctx(small_cluster());
+  const size_t width = 37;
+  std::vector<std::vector<u64>> arrays;
+  std::vector<u64> expected(width, 0);
+  Rng rng(3);
+  for (int i = 0; i < 24; ++i) {
+    std::vector<u64> a(width);
+    for (size_t j = 0; j < width; ++j) {
+      a[j] = rng.below(1000);
+      expected[j] += a[j];
+    }
+    arrays.push_back(std::move(a));
+  }
+  const auto merged =
+      ctx.parallelize(std::move(arrays), 6).sum_arrays(width);
+  EXPECT_EQ(merged, expected);
+}
+
+TEST(SumArrays, ShuffleBytesPricedAsArrayWidthPerMapTask) {
+  engine::Context ctx(small_cluster());
+  const size_t width = 1000;
+  const u32 parts = 5;
+  std::vector<std::vector<u64>> arrays(parts * 3,
+                                       std::vector<u64>(width, 1));
+  (void)ctx.parallelize(std::move(arrays), parts).sum_arrays(width, "sum");
+
+  u64 shuffle = 0;
+  bool saw_map = false, saw_reduce = false;
+  for (const auto& s : ctx.report().stages()) {
+    shuffle += s.shuffle_bytes;
+    if (s.label == "sum:map-combine") saw_map = true;
+    if (s.label == "sum:reduce") saw_reduce = true;
+  }
+  EXPECT_TRUE(saw_map);
+  EXPECT_TRUE(saw_reduce);
+  // One width-cell array per map task: 8-byte length prefix + width * u64,
+  // independent of how many input arrays each partition held.
+  EXPECT_EQ(shuffle, parts * (8 + width * sizeof(u64)));
+}
+
+TEST(SumArrays, WidthMismatchThrows) {
+  engine::Context ctx(small_cluster());
+  std::vector<std::vector<u64>> arrays{{1, 2, 3}, {4, 5}};
+  auto rdd = ctx.parallelize(std::move(arrays), 2);
+  try {
+    (void)rdd.sum_arrays(3);
+    FAIL() << "expected EngineError";
+  } catch (const engine::EngineError& e) {
+    EXPECT_EQ(e.kind(), engine::EngineErrorKind::kArrayWidthMismatch);
+  }
+}
+
+TEST(SumArrays, EmptyPartitionsContributeZeros) {
+  engine::Context ctx(small_cluster());
+  // 2 arrays over 8 partitions: most partitions are empty.
+  std::vector<std::vector<u64>> arrays{{1, 2}, {10, 20}};
+  const auto merged = ctx.parallelize(std::move(arrays), 8).sum_arrays(2);
+  EXPECT_EQ(merged, (std::vector<u64>{11, 22}));
+}
+
+// ---- adversarial hashing ------------------------------------------------
+
+/// Deterministic hash sending every key to the same reduce bucket.
+struct CollidingHash {
+  size_t operator()(int) const { return 7; }
+};
+
+TEST(ReduceByKey, AdversarialHashAllKeysOneBucket) {
+  engine::Context ctx(small_cluster());
+  std::vector<std::pair<int, u64>> pairs;
+  std::unordered_map<int, u64> expected;
+  Rng rng(17);
+  for (int i = 0; i < 20000; ++i) {
+    const int k = static_cast<int>(rng.below(500));
+    pairs.emplace_back(k, 1);
+    expected[k] += 1;
+  }
+  auto result = ctx.parallelize(std::move(pairs), 8)
+                    .reduce_by_key([](u64 a, u64 b) { return a + b; },
+                                   /*out_partitions=*/6, CollidingHash{})
+                    .collect();
+  // Correct totals even though all 500 keys land in one reduce bucket.
+  ASSERT_EQ(result.size(), expected.size());
+  for (const auto& [k, v] : result) EXPECT_EQ(v, expected.at(k)) << k;
+}
+
+// ---- stage-pricing exactness --------------------------------------------
+
+TEST(Pricing, SplitWorkDistributesRemainderExactly) {
+  for (u64 total : {0ull, 1ull, 999ull, 1000ull, 12345ull}) {
+    for (u32 tasks : {1u, 3u, 7u, 16u}) {
+      const auto recs = sim::split_work(total, tasks);
+      ASSERT_EQ(recs.size(), tasks);
+      u64 sum = 0, lo = ~0ull, hi = 0;
+      for (const auto& r : recs) {
+        sum += r.work;
+        lo = std::min(lo, r.work);
+        hi = std::max(hi, r.work);
+      }
+      EXPECT_EQ(sum, total) << total << "/" << tasks;
+      EXPECT_LE(hi - lo, 1u) << "split must be even";
+    }
+  }
+}
+
+TEST(Pricing, TextFileStageTotalIsExact) {
+  engine::Context::Options copts = small_cluster();
+  engine::Context ctx(copts);
+  simfs::SimFS fs(ctx.cluster());
+  // 1009 lines (prime): guaranteed not divisible by the task count, which
+  // is what used to truncate up to tasks-1 work units off the stage.
+  std::string text;
+  for (int i = 0; i < 1009; ++i) text += "line" + std::to_string(i) + "\n";
+  fs.write("hdfs://pricing/input.txt",
+           std::vector<u8>(text.begin(), text.end()));
+
+  auto lines = ctx.text_file(fs, "hdfs://pricing/input.txt");
+  ASSERT_EQ(lines.count("count"), 1009u);
+
+  const auto& stage = ctx.report().stages().front();
+  ASSERT_TRUE(stage.label.rfind("textFile:", 0) == 0);
+  u64 priced = 0;
+  for (const auto& t : stage.tasks) priced += t.work;
+  EXPECT_EQ(priced, 1009u * (1 + ctx.cluster().record_parse_work));
+}
+
+TEST(Pricing, YafimParseStageTotalIsExact) {
+  const auto db = random_db(12, 1009, 0.3, 2);
+  engine::Context ctx(small_cluster());
+  simfs::SimFS fs(ctx.cluster());
+  YafimOptions opt;
+  opt.min_support = 0.3;
+  (void)yafim_mine(ctx, fs, db, opt);
+
+  bool found = false;
+  for (const auto& s : ctx.report().stages()) {
+    if (s.label != "load:textFile+parse") continue;
+    found = true;
+    u64 priced = 0;
+    for (const auto& t : s.tasks) priced += t.work;
+    EXPECT_EQ(priced, 1009u * (1 + ctx.cluster().record_parse_work));
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---- dense-path stage accounting ---------------------------------------
+
+TEST(CountModes, DensePathRecordsArrayReduceCounters) {
+  const auto db = random_db(15, 220, 0.35, 21);
+  obs::CounterRegistry::instance().reset_all();
+  obs::set_enabled(true);
+  (void)run_yafim(db, CountMode::kCandidateId, 1);
+  obs::set_enabled(false);
+  EXPECT_GT(obs::counter_value(obs::CounterId::kArrayReduceBytes), 0u);
+  EXPECT_GT(obs::counter_value(obs::CounterId::kArrayReduceCells), 0u);
+}
+
+TEST(CountModes, DenseShuffleSmallerThanFaithful) {
+  // The headline accounting claim: candidate-id counting prices its
+  // shuffle by the candidate-array width, the faithful path by hits.
+  const auto db = random_db(16, 400, 0.35, 33);
+  engine::Context ctx_f(small_cluster());
+  simfs::SimFS fs_f(ctx_f.cluster());
+  YafimOptions faithful;
+  faithful.min_support = 0.2;
+  faithful.count_mode = CountMode::kItemsetKey;
+  (void)yafim_mine(ctx_f, fs_f, db, faithful);
+
+  engine::Context ctx_d(small_cluster());
+  simfs::SimFS fs_d(ctx_d.cluster());
+  YafimOptions dense = faithful;
+  dense.count_mode = CountMode::kCandidateId;
+  (void)yafim_mine(ctx_d, fs_d, db, dense);
+
+  EXPECT_LT(ctx_d.report().total_shuffle_bytes(),
+            ctx_f.report().total_shuffle_bytes());
+}
+
+}  // namespace
+}  // namespace yafim::fim

@@ -99,13 +99,16 @@ TEST(Rdd, ReduceSinglePartitionWithEmptyPartitions) {
   EXPECT_EQ(rdd.reduce([](int a, int b) { return a + b; }), 18);
 }
 
-TEST(Rdd, ReduceOnEmptyRddAborts) {
-  // The fixture owns live pool threads, so the forking "fast" death-test
-  // style would deadlock; re-execute the binary instead.
-  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+TEST(Rdd, ReduceOnEmptyRddThrows) {
   Context ctx(small_cluster());
   auto rdd = ctx.parallelize(std::vector<int>{});
-  EXPECT_DEATH(rdd.reduce([](int a, int b) { return a + b; }), "empty RDD");
+  try {
+    rdd.reduce([](int a, int b) { return a + b; });
+    FAIL() << "expected EngineError";
+  } catch (const EngineError& e) {
+    EXPECT_EQ(e.kind(), EngineErrorKind::kEmptyReduce);
+    EXPECT_NE(std::string(e.what()).find("empty RDD"), std::string::npos);
+  }
 }
 
 TEST(Rdd, UnionConcatenates) {
@@ -187,11 +190,16 @@ TEST(Rdd, MapValuesAndKeys) {
 }
 
 TEST(Rdd, CollectAsMapRejectsDuplicates) {
-  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   Context ctx(small_cluster());
   std::vector<std::pair<int, int>> pairs{{1, 10}, {1, 20}};
   auto rdd = ctx.parallelize(std::move(pairs), 1);
-  EXPECT_DEATH(rdd.collect_as_map(), "duplicate key");
+  try {
+    rdd.collect_as_map();
+    FAIL() << "expected EngineError";
+  } catch (const EngineError& e) {
+    EXPECT_EQ(e.kind(), EngineErrorKind::kDuplicateKey);
+    EXPECT_NE(std::string(e.what()).find("duplicate key"), std::string::npos);
+  }
 }
 
 TEST(Rdd, PersistCachesAcrossActions) {

@@ -174,12 +174,17 @@ TEST(Take, ShortCircuitsLaterPartitions) {
   EXPECT_EQ(computed.load(), 10);  // only partition 0 (10 elements)
 }
 
-TEST(First, ReturnsHeadOrAborts) {
-  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+TEST(First, ReturnsHeadOrThrows) {
   Context ctx(small_cluster());
   EXPECT_EQ(ctx.parallelize(iota(10), 3).first(), 0);
   auto empty = ctx.parallelize(std::vector<int>{});
-  EXPECT_DEATH((void)empty.first(), "empty RDD");
+  try {
+    (void)empty.first();
+    FAIL() << "expected EngineError";
+  } catch (const EngineError& e) {
+    EXPECT_EQ(e.kind(), EngineErrorKind::kEmptyFirst);
+    EXPECT_NE(std::string(e.what()).find("empty RDD"), std::string::npos);
+  }
 }
 
 TEST(CountByValue, Histogram) {
