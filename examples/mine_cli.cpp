@@ -25,6 +25,8 @@
 #include <thread>
 
 #include "datagen/benchmarks.h"
+#include "engine/context.h"
+#include "engine/lint.h"
 #include "fim/apriori_seq.h"
 #include "fim/checkpoint.h"
 #include "fim/eclat.h"
@@ -64,6 +66,14 @@ struct Options {
   /// so an external kill (the CI crash-recovery smoke test's SIGKILL)
   /// lands mid-run deterministically.
   u64 pass_sleep_ms = 0;
+  /// Lint the lineage plan before each action/shuffle (yafim / mrapriori)
+  /// and print the diagnostics.
+  bool lint = false;
+  /// With --lint=error, any diagnostic makes the process exit 3.
+  bool lint_error = false;
+  /// Run YAFIM without caching the transactions RDD (the paper's "what if
+  /// we didn't cache" ablation; trips lint rule YL001 by design).
+  bool no_cache = false;
 };
 
 /// All flag errors funnel through here: say what was wrong, show the
@@ -78,6 +88,7 @@ struct Options {
       "          [--rules=MIN_CONF] [--top=N] [--quiet] [--stages]\n"
       "          [--lenient] [--trace FILE] [--checkpoint-dir=DIR]\n"
       "          [--stop-after-pass=K] [--pass-sleep-ms=N]\n"
+      "          [--lint[=error]] [--no-cache]\n"
       "generate names: mushroom t10 chess pumsb medical\n"
       "--lenient: skip + count malformed --input lines instead of\n"
       "  silently taking each line's numeric prefix\n"
@@ -87,7 +98,13 @@ struct Options {
       "--checkpoint-dir=DIR: snapshot (Lk, pass stats) after every pass\n"
       "  and resume from the newest valid snapshot on rerun (yafim and\n"
       "  mrapriori). --stop-after-pass=K simulates a crash after pass K;\n"
-      "  --pass-sleep-ms=N widens the between-pass window for kill tests\n",
+      "  --pass-sleep-ms=N widens the between-pass window for kill tests\n"
+      "--lint: check the lineage plan (rules YL001..YL005: uncached reuse,\n"
+      "  oversized broadcast, dead cache, pushable filter, deep lineage)\n"
+      "  before every action/shuffle and print the diagnostics;\n"
+      "  --lint=error exits 3 if any diagnostic fires (yafim|mrapriori)\n"
+      "--no-cache: skip caching the transactions RDD (yafim only; the\n"
+      "  lineage re-reads HDFS every pass, and --lint reports YL001)\n",
       argv0);
   std::exit(2);
 }
@@ -139,6 +156,15 @@ Options parse(int argc, char** argv) {
     } else if (arg.rfind("--pass-sleep-ms=", 0) == 0) {
       opt.pass_sleep_ms =
           std::strtoull(value("--pass-sleep-ms="), nullptr, 10);
+    } else if (arg == "--lint") {
+      opt.lint = true;
+    } else if (arg == "--lint=error") {
+      opt.lint = true;
+      opt.lint_error = true;
+    } else if (arg.rfind("--lint=", 0) == 0) {
+      usage(argv[0], "--lint takes no value other than 'error'");
+    } else if (arg == "--no-cache") {
+      opt.no_cache = true;
     } else {
       usage(argv[0], "unknown flag: " + arg);
     }
@@ -163,6 +189,12 @@ Options parse(int argc, char** argv) {
       opt.checkpoint_dir.empty()) {
     usage(argv[0],
           "--stop-after-pass/--pass-sleep-ms require --checkpoint-dir");
+  }
+  if (opt.lint && opt.engine != "yafim" && opt.engine != "mrapriori") {
+    usage(argv[0], "--lint requires --engine=yafim|mrapriori");
+  }
+  if (opt.no_cache && opt.engine != "yafim") {
+    usage(argv[0], "--no-cache requires --engine=yafim");
   }
   return opt;
 }
@@ -256,8 +288,11 @@ int main(int argc, char** argv) {
   Stopwatch wall;
   fim::MiningRun run;
   double sim_seconds = -1.0;
+  std::vector<engine::LintDiagnostic> lint_diags;
   if (opt.engine == "yafim" || opt.engine == "mrapriori") {
-    engine::Context ctx;
+    engine::ContextOptions ctx_opt;
+    ctx_opt.lint.enabled = opt.lint;
+    engine::Context ctx(ctx_opt);
     simfs::SimFS fs(ctx.cluster());
 
     std::unique_ptr<fim::DirCheckpointStore> dir_store;
@@ -278,6 +313,7 @@ int main(int argc, char** argv) {
       mine_opt.min_support = opt.minsup;
       mine_opt.checkpoint = store;
       mine_opt.stop_after_pass = opt.stop_after_pass;
+      mine_opt.cache_transactions = !opt.no_cache;
       run = fim::yafim_mine(ctx, fs, db, mine_opt);
     } else {
       fim::MrAprioriOptions mine_opt;
@@ -306,6 +342,10 @@ int main(int argc, char** argv) {
           sim::format_report(ctx.report(), ctx.cost_model()).c_str(),
           stdout);
     }
+    if (opt.lint) {
+      ctx.linter().finalize();
+      lint_diags = ctx.linter().diagnostics();
+    }
   } else if (opt.engine == "apriori") {
     fim::AprioriOptions mine_opt;
     mine_opt.min_support = opt.minsup;
@@ -314,6 +354,15 @@ int main(int argc, char** argv) {
     run = fim::fp_growth_mine(db, opt.minsup);
   } else {  // "eclat" -- parse() already rejected unknown engines
     run = fim::eclat_mine(db, opt.minsup);
+  }
+
+  if (opt.lint) {
+    // Printed even under --quiet: CI greps rule ids out of this block.
+    for (const auto& diag : lint_diags) {
+      std::printf("# lint: %s\n", engine::PlanLinter::format(diag).c_str());
+    }
+    std::printf("# lint: %zu diagnostic%s\n", lint_diags.size(),
+                lint_diags.size() == 1 ? "" : "s");
   }
 
   if (tracing) {
@@ -374,5 +423,6 @@ int main(int argc, char** argv) {
                   (unsigned long long)rules[i].support);
     }
   }
+  if (opt.lint_error && !lint_diags.empty()) return 3;
   return 0;
 }

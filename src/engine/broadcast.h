@@ -30,7 +30,10 @@ class Broadcast {
 };
 
 template <typename T>
-Broadcast<T> Context::broadcast(T value, u64 bytes) {
+Broadcast<T> Context::broadcast(T value, u64 bytes, const std::string& name) {
+  // Lint against the configured per-executor memory before liveness
+  // scaling: every live node must hold the full payload.
+  if (linter_.enabled()) linter_.check_broadcast(bytes, name);
   // Blacklisted executors receive no tasks, so the tree distribution skips
   // them: charge only the live fraction of the cluster.
   const FaultInjector& injector = fault_;

@@ -27,6 +27,7 @@ Context::Context(Options opts)
       default_partitions_(opts_.default_partitions
                               ? opts_.default_partitions
                               : 2 * opts_.cluster.total_cores()) {
+  linter_.configure(opts_.lint, opts_.cluster.executor_memory_bytes);
   // Stages are launched from the constructing thread; name it in traces.
   obs::Tracer::instance().set_thread_name("driver");
 }
@@ -248,7 +249,7 @@ void Context::record(sim::StageRecord record) {
     obs::count(obs::CounterId::kDfsWriteBytes, record.dfs_write_bytes);
   }
   {
-    std::lock_guard<std::mutex> lock(report_mutex_);
+    util::MutexLock lock(report_mutex_);
     report_.add(std::move(record));
   }
   // Stage/action boundary: collect what the worker threads buffered.

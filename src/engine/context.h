@@ -13,10 +13,12 @@
 #include <string>
 
 #include "engine/fault.h"
+#include "engine/lint.h"
 #include "engine/thread_pool.h"
 #include "sim/cost_model.h"
 #include "sim/metrics.h"
 #include "util/common.h"
+#include "util/thread_annotations.h"
 
 namespace yafim::simfs {
 class SimFS;
@@ -56,6 +58,10 @@ struct ContextOptions {
   /// YAFIM_FAULT_* environment (disabled when unset), so a whole test or
   /// bench binary can be run under injection without code changes.
   FaultProfile fault = FaultProfile::from_env();
+  /// Plan linting (engine/lint.h). Off by default. (The explicit
+  /// initializer keeps designated-init call sites clear of
+  /// -Wmissing-field-initializers.)
+  LintOptions lint = {};
 };
 
 class Context {
@@ -73,11 +79,26 @@ class Context {
   FaultInjector& fault_injector() { return fault_; }
   ShareMode share_mode() const { return opts_.share_mode; }
 
-  sim::SimReport& report() { return report_; }
-  const sim::SimReport& report() const { return report_; }
+  /// Lineage plan linter; configured from Options::lint, disabled by
+  /// default. RDD nodes register themselves here and actions/shuffles call
+  /// before_execute(); tests assert on linter().diagnostics().
+  PlanLinter& linter() { return linter_; }
+  const PlanLinter& linter() const { return linter_; }
+
+  // report()/sim_seconds() hand out the report guarded by report_mutex_.
+  // Thread-safety analysis is suppressed deliberately: callers read the
+  // report from the driver thread after the actions that fill it returned
+  // (record() is the only concurrent writer and it has completed by then),
+  // so locking here would suggest a protection the accessor cannot provide.
+  sim::SimReport& report() YAFIM_NO_THREAD_SAFETY_ANALYSIS { return report_; }
+  const sim::SimReport& report() const YAFIM_NO_THREAD_SAFETY_ANALYSIS {
+    return report_;
+  }
 
   /// Simulated seconds of everything recorded so far.
-  double sim_seconds() const { return report_.total_seconds(model_); }
+  double sim_seconds() const YAFIM_NO_THREAD_SAFETY_ANALYSIS {
+    return report_.total_seconds(model_);
+  }
 
   u32 default_partitions() const { return default_partitions_; }
   u32 next_rdd_id() { return next_rdd_id_.fetch_add(1); }
@@ -140,8 +161,10 @@ class Context {
                              u32 min_partitions = 0);
 
   /// Broadcast a value to all workers; definitions in engine/broadcast.h.
+  /// `name` identifies the payload in lint diagnostics (YL002).
   template <typename T>
-  Broadcast<T> broadcast(T value, u64 bytes);
+  Broadcast<T> broadcast(T value, u64 bytes,
+                         const std::string& name = "broadcast");
 
  private:
   /// Faulty-path twin of measure_tasks (attempts, stragglers, speculation).
@@ -153,12 +176,13 @@ class Context {
   sim::CostModel model_;
   ThreadPool pool_;
   FaultInjector fault_;
+  PlanLinter linter_;
   u32 default_partitions_;
   /// Stages launched so far; salts the deterministic injection draws.
   std::atomic<u64> stage_seq_{0};
 
-  std::mutex report_mutex_;
-  sim::SimReport report_;
+  util::Mutex report_mutex_;
+  sim::SimReport report_ YAFIM_GUARDED_BY(report_mutex_);
 
   std::atomic<u32> next_rdd_id_{0};
   u32 pass_ = 0;

@@ -63,12 +63,12 @@ FaultInjector::FaultInjector(const sim::ClusterConfig& cluster,
 }
 
 void FaultInjector::register_holder(CacheHolder* holder) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   holders_[holder->holder_id()] = holder;
 }
 
 void FaultInjector::unregister_holder(CacheHolder* holder) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = holders_.find(holder->holder_id());
   if (it == holders_.end() || it->second != holder) return;
   holders_.erase(it);
@@ -89,7 +89,7 @@ void FaultInjector::unregister_holder(CacheHolder* holder) {
 
 void FaultInjector::note_cache_insert(u32 rdd_id, u32 partition, u64 bytes) {
   if (!cache_budget_enabled()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (!holders_.count(rdd_id)) return;  // raced with unregister
   const u64 key = entry_key(rdd_id, partition);
   const u32 node = partition % nodes_;
@@ -108,7 +108,7 @@ void FaultInjector::note_cache_insert(u32 rdd_id, u32 partition, u64 bytes) {
 
 void FaultInjector::note_cache_hit(u32 rdd_id, u32 partition) {
   if (!cache_budget_enabled()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = entries_.find(entry_key(rdd_id, partition));
   if (it == entries_.end()) return;
   auto& lru = node_lru_[it->second.first];
@@ -151,12 +151,12 @@ void FaultInjector::note_cache_corruption(u32 rdd_id, u32 partition) {
   obs::instant("fault", "cache_corrupt",
                {{"rdd", rdd_id}, {"partition", partition}});
   if (!cache_budget_enabled()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   forget_entry_locked(rdd_id, partition);
 }
 
 bool FaultInjector::fail_partition(u32 rdd_id, u32 partition) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = holders_.find(rdd_id);
   if (it == holders_.end()) return false;
   const bool dropped = it->second->drop_cached(partition);
@@ -175,7 +175,7 @@ u64 FaultInjector::kill_executor(u32 node) {
   {
     // Dropping under the lock keeps the holder pointers valid: ~Node blocks
     // in unregister_holder until this loop is done with them.
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (auto& [id, holder] : holders_) {
       for (u32 p = node; p < holder->holder_partitions(); p += nodes_) {
         if (holder->drop_cached(p)) {
@@ -216,7 +216,7 @@ bool FaultInjector::draw_straggler(u64 stage, u32 task, u32 copy) const {
 u32 FaultInjector::node_of(u32 index) const {
   const u32 home = index % nodes_;
   if (blacklisted_count_.load(std::memory_order_relaxed) == 0) return home;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (u32 step = 0; step < nodes_; ++step) {
     const u32 node = (home + step) % nodes_;
     if (!node_blacklisted_[node]) return node;
@@ -228,7 +228,7 @@ void FaultInjector::note_task_failure(u32 node) {
   task_failures_.fetch_add(1, std::memory_order_relaxed);
   obs::count(obs::CounterId::kTaskFailuresInjected);
   if (profile_.blacklist_after == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   YAFIM_DCHECK(node < nodes_, "failure on unknown node");
   if (node_blacklisted_[node]) return;
   if (++node_failures_[node] < profile_.blacklist_after) return;

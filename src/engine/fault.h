@@ -34,16 +34,17 @@
 
 #include <atomic>
 #include <list>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "sim/cluster.h"
 #include "sim/corruption.h"
 #include "util/common.h"
+#include "util/thread_annotations.h"
 
 namespace yafim::engine {
 
@@ -281,26 +282,27 @@ class FaultInjector {
   double draw_uniform(u64 a, u64 b, u64 c) const;
 
   /// Remove one partition from the LRU accounting (lock held).
-  void forget_entry_locked(u32 rdd_id, u32 partition);
+  void forget_entry_locked(u32 rdd_id, u32 partition) YAFIM_REQUIRES(mutex_);
   /// Evict LRU partitions until `node` is back under budget (lock held).
-  void evict_over_budget_locked(u32 node);
+  void evict_over_budget_locked(u32 node) YAFIM_REQUIRES(mutex_);
 
   u32 nodes_;
   FaultProfile profile_;
   u64 cache_budget_per_node_;
 
-  mutable std::mutex mutex_;
-  std::unordered_map<u32, CacheHolder*> holders_;
+  mutable util::Mutex mutex_;
+  std::unordered_map<u32, CacheHolder*> holders_ YAFIM_GUARDED_BY(mutex_);
 
   // Per-node LRU of cached partitions (front = coldest) + byte accounting.
-  std::vector<LruList> node_lru_;
-  std::vector<u64> node_cached_bytes_;
-  std::unordered_map<u64, std::pair<u32, LruList::iterator>> entries_;
+  std::vector<LruList> node_lru_ YAFIM_GUARDED_BY(mutex_);
+  std::vector<u64> node_cached_bytes_ YAFIM_GUARDED_BY(mutex_);
+  std::unordered_map<u64, std::pair<u32, LruList::iterator>> entries_
+      YAFIM_GUARDED_BY(mutex_);
 
   // Blacklist state (guarded by mutex_; count mirrored in an atomic so
   // node_of can take a fast path while nothing is blacklisted).
-  std::vector<u32> node_failures_;
-  std::vector<bool> node_blacklisted_;
+  std::vector<u32> node_failures_ YAFIM_GUARDED_BY(mutex_);
+  std::vector<bool> node_blacklisted_ YAFIM_GUARDED_BY(mutex_);
   std::atomic<u32> blacklisted_count_{0};
 
   std::atomic<u64> recomputations_{0};

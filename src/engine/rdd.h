@@ -29,10 +29,12 @@
 #include "engine/bytes_of.h"
 #include "engine/context.h"
 #include "engine/error.h"
+#include "engine/lint.h"
 #include "engine/work.h"
 #include "obs/metrics.h"
 #include "simfs/simfs.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace yafim::engine {
 
@@ -95,7 +97,7 @@ class Node : public CacheHolder {
 
   void persist() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (persisted_) return;
       persisted_ = true;
       cache_.resize(nparts_);
@@ -105,10 +107,11 @@ class Node : public CacheHolder {
     // Outside our (leaf) lock: the injector takes its own lock and may call
     // back into drop_cached (see the locking protocol in engine/fault.h).
     ctx_.fault_injector().register_holder(this);
+    if (ctx_.linter().enabled()) ctx_.linter().note_persist(id());
   }
 
   bool persisted() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return persisted_;
   }
 
@@ -119,7 +122,7 @@ class Node : public CacheHolder {
     Part hit;
     bool corrupt = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (persisted_ && cache_[pid]) {
         // Deterministic corruption draw per (rdd, partition, hit#): corrupt
         // backing bytes are discarded here and the fall-through recompute
@@ -141,6 +144,7 @@ class Node : public CacheHolder {
       // Outside our (leaf) lock: the LRU refresh may race with an eviction
       // of this very partition, but `hit` keeps the data alive either way.
       if (injector.cache_budget_enabled()) injector.note_cache_hit(id(), pid);
+      if (ctx_.linter().enabled()) ctx_.linter().note_cache_read(id());
       return hit;
     }
     auto data = std::make_shared<const std::vector<T>>(compute(pid));
@@ -150,7 +154,7 @@ class Node : public CacheHolder {
     bool inserted = false;
     Part out;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (!persisted_) return data;
       if (!cache_[pid]) {
         obs::count(obs::CounterId::kCacheMisses);
@@ -171,6 +175,16 @@ class Node : public CacheHolder {
     return out;
   }
 
+ protected:
+  /// Lineage-shadow registration for the plan linter (engine/lint.h);
+  /// called from derived constructors, which know the operator kind and
+  /// parent ids the base cannot.
+  void lint_register(PlanOp op, std::initializer_list<u32> parents) {
+    if (ctx_.linter().enabled()) {
+      ctx_.linter().register_node(id(), op, parents);
+    }
+  }
+
  private:
   // CacheHolder drop thunk. Runs with the injector lock held, possibly
   // concurrently with the derived destructors (~MapNode etc.); it must only
@@ -178,7 +192,7 @@ class Node : public CacheHolder {
   // unregistered us.
   static bool drop_thunk(CacheHolder* holder, u32 pid) {
     auto* self = static_cast<Node*>(holder);
-    std::lock_guard<std::mutex> lock(self->mutex_);
+    util::MutexLock lock(self->mutex_);
     if (!self->persisted_ || pid >= self->nparts_ || !self->cache_[pid]) {
       return false;
     }
@@ -189,13 +203,15 @@ class Node : public CacheHolder {
   Context& ctx_;
   u32 nparts_;
 
-  mutable std::mutex mutex_;
-  bool persisted_ = false;
-  std::vector<Part> cache_;
-  std::vector<bool> ever_cached_;
+  // Leaf lock in the engine's lock order: nothing is called with mutex_
+  // held (injector callbacks happen outside it; see engine/fault.h).
+  mutable util::Mutex mutex_;
+  bool persisted_ YAFIM_GUARDED_BY(mutex_) = false;
+  std::vector<Part> cache_ YAFIM_GUARDED_BY(mutex_);
+  std::vector<bool> ever_cached_ YAFIM_GUARDED_BY(mutex_);
   /// Cache hits served per partition; salts the corruption draw so repeat
   /// accesses get independent (but replay-stable) draws.
-  std::vector<u64> hit_seq_;
+  std::vector<u64> hit_seq_ YAFIM_GUARDED_BY(mutex_);
 };
 
 /// Data already resident per partition (parallelize(), shuffle outputs).
@@ -205,6 +221,7 @@ class MaterializedNode final : public Node<T> {
  public:
   MaterializedNode(Context& ctx, std::vector<std::vector<T>> parts)
       : Node<T>(ctx, static_cast<u32>(std::max<size_t>(1, parts.size()))) {
+    this->lint_register(PlanOp::kSource, {});
     if (parts.empty()) parts.emplace_back();
     data_.reserve(parts.size());
     for (auto& p : parts) {
@@ -226,7 +243,9 @@ class MapNode final : public Node<U> {
   MapNode(std::shared_ptr<Node<T>> parent, F f)
       : Node<U>(parent->ctx(), parent->num_partitions()),
         parent_(std::move(parent)),
-        f_(std::move(f)) {}
+        f_(std::move(f)) {
+    this->lint_register(PlanOp::kMap, {parent_->id()});
+  }
 
   std::vector<U> compute(u32 pid) override {
     auto in = parent_->get(pid);
@@ -250,7 +269,9 @@ class FlatMapNode final : public Node<U> {
   FlatMapNode(std::shared_ptr<Node<T>> parent, F f)
       : Node<U>(parent->ctx(), parent->num_partitions()),
         parent_(std::move(parent)),
-        f_(std::move(f)) {}
+        f_(std::move(f)) {
+    this->lint_register(PlanOp::kFlatMap, {parent_->id()});
+  }
 
   std::vector<U> compute(u32 pid) override {
     auto in = parent_->get(pid);
@@ -275,7 +296,9 @@ class FilterNode final : public Node<T> {
   FilterNode(std::shared_ptr<Node<T>> parent, F f)
       : Node<T>(parent->ctx(), parent->num_partitions()),
         parent_(std::move(parent)),
-        f_(std::move(f)) {}
+        f_(std::move(f)) {
+    this->lint_register(PlanOp::kFilter, {parent_->id()});
+  }
 
   std::vector<T> compute(u32 pid) override {
     auto in = parent_->get(pid);
@@ -298,7 +321,9 @@ class MapPartitionsNode final : public Node<U> {
   MapPartitionsNode(std::shared_ptr<Node<T>> parent, F f)
       : Node<U>(parent->ctx(), parent->num_partitions()),
         parent_(std::move(parent)),
-        f_(std::move(f)) {}
+        f_(std::move(f)) {
+    this->lint_register(PlanOp::kMapPartitions, {parent_->id()});
+  }
 
   std::vector<U> compute(u32 pid) override {
     auto in = parent_->get(pid);
@@ -321,6 +346,7 @@ class UnionNode final : public Node<T> {
         right_(std::move(right)) {
     YAFIM_CHECK(&left_->ctx() == &right_->ctx(),
                 "union of RDDs from different contexts");
+    this->lint_register(PlanOp::kUnion, {left_->id(), right_->id()});
   }
 
   std::vector<T> compute(u32 pid) override {
@@ -346,7 +372,9 @@ class SampleNode final : public Node<T> {
       : Node<T>(parent->ctx(), parent->num_partitions()),
         parent_(std::move(parent)),
         fraction_(fraction),
-        seed_(seed) {}
+        seed_(seed) {
+    this->lint_register(PlanOp::kSample, {parent_->id()});
+  }
 
   std::vector<T> compute(u32 pid) override {
     auto in = parent_->get(pid);
@@ -369,7 +397,9 @@ template <typename T>
 class CoalesceNode final : public Node<T> {
  public:
   CoalesceNode(std::shared_ptr<Node<T>> parent, u32 num_partitions)
-      : Node<T>(parent->ctx(), num_partitions), parent_(std::move(parent)) {}
+      : Node<T>(parent->ctx(), num_partitions), parent_(std::move(parent)) {
+    this->lint_register(PlanOp::kCoalesce, {parent_->id()});
+  }
 
   std::vector<T> compute(u32 pid) override {
     // New partition pid owns the contiguous parent range [begin, end).
@@ -396,7 +426,9 @@ class ZipWithIndexNode final : public Node<std::pair<T, u64>> {
   ZipWithIndexNode(std::shared_ptr<Node<T>> parent, std::vector<u64> offsets)
       : Node<std::pair<T, u64>>(parent->ctx(), parent->num_partitions()),
         parent_(std::move(parent)),
-        offsets_(std::move(offsets)) {}
+        offsets_(std::move(offsets)) {
+    this->lint_register(PlanOp::kZipWithIndex, {parent_->id()});
+  }
 
   std::vector<std::pair<T, u64>> compute(u32 pid) override {
     auto in = parent_->get(pid);
@@ -436,6 +468,15 @@ class RDD {
     return *this;
   }
   bool persisted() const { return node_->persisted(); }
+
+  /// Attach a human-readable debug name; lint diagnostics reference it
+  /// instead of "rdd#<id>", matching the stage labels in traces. Chainable
+  /// at the creation site: `ctx.parallelize(db).named("transactions")`.
+  RDD& named(const std::string& name) {
+    Context& ctx = node_->ctx();
+    if (ctx.linter().enabled()) ctx.linter().set_node_name(id(), name);
+    return *this;
+  }
 
   // --- narrow transformations (lazy) ---------------------------------
 
@@ -496,6 +537,7 @@ class RDD {
   auto zip_with_index(const std::string& label = "zipWithIndex") const {
     Context& ctx = node_->ctx();
     const u32 n = node_->num_partitions();
+    lint_consume(PlanLinter::Consume::kAction, label + ":count");
     std::vector<u64> sizes(n, 0);
     ctx.run_stage(label + ":count", n,
                   [&](u32 pid) { sizes[pid] = node_->get(pid)->size(); });
@@ -525,6 +567,7 @@ class RDD {
         out_partitions ? out_partitions : node_->num_partitions();
 
     using KA = std::pair<K, A>;
+    lint_consume(PlanLinter::Consume::kShuffle, label);
     std::vector<std::vector<std::vector<KA>>> map_out(map_tasks);
     std::atomic<u64> shuffle_bytes{0};
     ctx.run_stage_with_shuffle(
@@ -586,6 +629,7 @@ class RDD {
         out_partitions ? out_partitions : node_->num_partitions();
 
     // Map side: combine locally, then hash-partition into reduce buckets.
+    lint_consume(PlanLinter::Consume::kShuffle, label);
     std::vector<std::vector<std::vector<T>>> map_out(map_tasks);
     std::atomic<u64> shuffle_bytes{0};
     ctx.run_stage_with_shuffle(
@@ -648,6 +692,7 @@ class RDD {
     const u32 reduce_tasks =
         out_partitions ? out_partitions : node_->num_partitions();
 
+    lint_consume(PlanLinter::Consume::kShuffle, label);
     std::vector<std::vector<std::vector<T>>> map_out(map_tasks);
     std::atomic<u64> shuffle_bytes{0};
     ctx.run_stage_with_shuffle(
@@ -725,7 +770,9 @@ class RDD {
           bytes);
       return buckets;
     };
+    lint_consume(PlanLinter::Consume::kShuffle, label + ":left");
     auto left = partition_side(node_, "left");
+    other.lint_consume(PlanLinter::Consume::kShuffle, label + ":right");
     auto right = partition_side(other.node(), "right");
 
     std::vector<std::vector<Out>> out(reduce_tasks);
@@ -767,6 +814,9 @@ class RDD {
         out_partitions ? out_partitions : node_->num_partitions();
 
     // Driver-side splitter sampling (deterministic: every ~16th key).
+    // sort_by_key truthfully consumes its input twice: once for the sample
+    // stage and once for the range-partition shuffle.
+    lint_consume(PlanLinter::Consume::kAction, label + ":sample");
     std::vector<K> sample;
     {
       std::mutex mutex;
@@ -794,6 +844,7 @@ class RDD {
           splitters.begin());
     };
 
+    lint_consume(PlanLinter::Consume::kShuffle, label + ":partition");
     std::vector<std::vector<std::vector<T>>> map_out(map_tasks);
     std::atomic<u64> shuffle_bytes{0};
     ctx.run_stage_with_shuffle(
@@ -864,6 +915,7 @@ class RDD {
   std::vector<T> collect(const std::string& label = "collect") const {
     Context& ctx = node_->ctx();
     const u32 n = node_->num_partitions();
+    lint_consume(PlanLinter::Consume::kAction, label);
     std::vector<typename detail::Node<T>::Part> parts(n);
     ctx.run_stage(label, n, [&](u32 pid) { parts[pid] = node_->get(pid); });
 
@@ -878,6 +930,7 @@ class RDD {
   u64 count(const std::string& label = "count") const {
     Context& ctx = node_->ctx();
     const u32 n = node_->num_partitions();
+    lint_consume(PlanLinter::Consume::kAction, label);
     std::vector<u64> sizes(n, 0);
     ctx.run_stage(label, n,
                   [&](u32 pid) { sizes[pid] = node_->get(pid)->size(); });
@@ -892,6 +945,7 @@ class RDD {
   T reduce(F f, const std::string& label = "reduce") const {
     Context& ctx = node_->ctx();
     const u32 n = node_->num_partitions();
+    lint_consume(PlanLinter::Consume::kAction, label);
     std::vector<std::optional<T>> partials(n);
     ctx.run_stage(label, n, [&](u32 pid) {
       auto in = node_->get(pid);
@@ -921,6 +975,7 @@ class RDD {
   /// so early partitions short-circuit the rest of the lineage.
   std::vector<T> take(size_t n, const std::string& label = "take") const {
     Context& ctx = node_->ctx();
+    lint_consume(PlanLinter::Consume::kAction, label);
     std::vector<T> out;
     std::vector<sim::TaskRecord> tasks;
     for (u32 pid = 0; pid < node_->num_partitions() && out.size() < n;
@@ -1002,6 +1057,7 @@ class RDD {
     Context& ctx = node_->ctx();
     const u32 map_tasks = node_->num_partitions();
 
+    lint_consume(PlanLinter::Consume::kShuffle, label);
     std::vector<std::vector<E>> partials(map_tasks);
     std::atomic<u64> shuffle_bytes{0};
     std::atomic<bool> bad_width{false};
@@ -1051,6 +1107,15 @@ class RDD {
  private:
   template <typename U>
   friend class RDD;
+
+  /// Plan-linter consumption hook, called right before an action/shuffle
+  /// pulls this RDD's partitions (engine/lint.h walks the lineage then).
+  void lint_consume(PlanLinter::Consume kind, const std::string& label) const {
+    Context& ctx = node_->ctx();
+    if (ctx.linter().enabled()) {
+      ctx.linter().before_execute(node_->id(), kind, label);
+    }
+  }
 
   std::shared_ptr<detail::Node<T>> node_;
 };

@@ -22,7 +22,7 @@ ThreadPool::ThreadPool(u32 threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -37,17 +37,25 @@ std::future<void> ThreadPool::submit(std::function<void()> fn) {
           enqueued_us = obs::Tracer::instance().now_us()] {
       obs::Tracer& tracer = obs::Tracer::instance();
       const u64 started_us = tracer.now_us();
-      obs::count(obs::CounterId::kPoolQueueWaitUs, started_us - enqueued_us);
+      // A Tracer::reset() between enqueue and run rebases the epoch, which
+      // can make the later timestamp the *smaller* one; the unsigned
+      // subtraction would then credit ~2^64 us of queue wait. Clamp to 0.
+      if (started_us > enqueued_us) {
+        obs::count(obs::CounterId::kPoolQueueWaitUs,
+                   started_us - enqueued_us);
+      }
       fn();
-      obs::count(obs::CounterId::kPoolTaskRunUs,
-                 tracer.now_us() - started_us);
+      const u64 finished_us = tracer.now_us();
+      if (finished_us > started_us) {
+        obs::count(obs::CounterId::kPoolTaskRunUs, finished_us - started_us);
+      }
       obs::count(obs::CounterId::kPoolTasks, 1);
     };
   }
   std::packaged_task<void()> task(std::move(fn));
   std::future<void> future = task.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     YAFIM_CHECK(!stopping_, "submit() after shutdown");
     queue_.push_back(std::move(task));
   }
@@ -84,8 +92,10 @@ void ThreadPool::worker_loop(u32 index) {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      util::MutexLock lock(mutex_);
+      // Spelled-out predicate loop: thread-safety analysis cannot look
+      // inside a wait-predicate lambda (see util/thread_annotations.h).
+      while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -6,15 +6,14 @@
 // differs.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/common.h"
+#include "util/thread_annotations.h"
 
 namespace yafim::engine {
 
@@ -43,10 +42,11 @@ class ThreadPool {
  private:
   void worker_loop(u32 index);
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::packaged_task<void()>> queue_;
-  bool stopping_ = false;
+  util::Mutex mutex_;
+  util::CondVar cv_;
+  std::deque<std::packaged_task<void()>> queue_ YAFIM_GUARDED_BY(mutex_);
+  bool stopping_ YAFIM_GUARDED_BY(mutex_) = false;
+  /// Written only by the constructor, before any concurrent access.
   std::vector<std::thread> workers_;
 };
 

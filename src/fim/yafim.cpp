@@ -114,7 +114,8 @@ MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
   // lineage child of driver-held data, so lost partitions are recomputable.
   auto transactions =
       ctx.parallelize(db.release(), options.partitions)
-          .map([](const Transaction& t) { return t; });
+          .map([](const Transaction& t) { return t; })
+          .named("transactions");
   if (options.cache_transactions) transactions.persist();
   if (load_span) {
     load_span->arg("transactions", num_transactions);
@@ -146,12 +147,15 @@ MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
     level =
         transactions
             .flat_map([](const Transaction& t) { return t; })
+            .named("phase1:items")
             .map([](const Item& i) { return CountPair(Itemset{i}, 1); })
             .reduce_by_key([](u64 a, u64 b) { return a + b; }, 0,
                            ItemsetHash{}, "phase1:count")
+            .named("phase1:counts")
             .filter([min_count](const CountPair& kv) {
               return kv.second >= min_count;
             })
+            .named("phase1:frequent")
             .collect("phase1:collect");
 
     frequent.reserve(level.size());
@@ -245,9 +249,9 @@ MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
     // one dense array spans every level counted this pass.
     const u64 id_space = HashTree::assign_id_offsets(*trees);
 
-    auto broadcast_trees = ctx.broadcast(trees, tree_bytes);
     const bool use_hash_tree = options.use_hash_tree;
     const std::string pass_name = "pass" + std::to_string(k);
+    auto broadcast_trees = ctx.broadcast(trees, tree_bytes, pass_name + ":trees");
     Stopwatch count_clock;
     if (options.count_mode == CountMode::kItemsetKey) {
       // Paper-faithful: every hit copies the itemset out of the tree and
@@ -273,9 +277,11 @@ MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
               .map([](const Itemset& c) { return CountPair(c, 1); })
               .reduce_by_key([](u64 a, u64 b) { return a + b; }, 0,
                              ItemsetHash{}, pass_name + ":count")
+              .named(pass_name + ":counts")
               .filter([min_count](const CountPair& kv) {
                 return kv.second >= min_count;
               })
+              .named(pass_name + ":frequent")
               .collect(pass_name + ":collect");
     } else {
       // Dense: each partition counts hits into one id-indexed array (no

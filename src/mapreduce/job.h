@@ -127,6 +127,13 @@ class JobRunner {
       ctx_.record(std::move(startup));
     }
 
+    // The distributed cache is MapReduce's broadcast: lint it against the
+    // same executor-memory budget (YL002) as Spark-side broadcasts.
+    if (spec.distributed_cache_bytes && ctx_.linter().enabled()) {
+      ctx_.linter().check_broadcast(spec.distributed_cache_bytes,
+                                    spec.name + ":distributed_cache");
+    }
+
     // Input: every job re-reads its input from the DFS.
     const std::vector<u8> raw = fs_.read(input_path);
     const std::vector<I> records = spec.decode_input(raw);

@@ -2,7 +2,8 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
+
+#include "util/thread_annotations.h"
 
 namespace yafim::obs {
 
@@ -47,6 +48,12 @@ const char* counter_name(CounterId id) {
       return "checkpoint.passes_skipped";
     case CounterId::kArrayReduceBytes: return "array_reduce.bytes";
     case CounterId::kArrayReduceCells: return "array_reduce.cells";
+    case CounterId::kLintUncachedReuse: return "lint.uncached_reuse";
+    case CounterId::kLintBroadcastOverMem:
+      return "lint.broadcast_over_memory";
+    case CounterId::kLintDeadCache: return "lint.dead_cache";
+    case CounterId::kLintFilterPushdown: return "lint.filter_pushdown";
+    case CounterId::kLintDeepLineage: return "lint.deep_lineage";
     case CounterId::kNumCounters: break;
   }
   return "unknown";
@@ -54,8 +61,11 @@ const char* counter_name(CounterId id) {
 
 struct CounterRegistry::Impl {
   Counter well_known[static_cast<u32>(CounterId::kNumCounters)];
-  mutable std::mutex mutex;  // guards `named` shape only, not the values
-  std::map<std::string, std::unique_ptr<Counter>> named;
+  // Guards the map's *shape* only; Counter values are atomics and the
+  // unique_ptrs are never reseated, so references escape the lock safely.
+  mutable util::Mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>> named
+      YAFIM_GUARDED_BY(mutex);
 };
 
 CounterRegistry::CounterRegistry() : impl_(new Impl) {}
@@ -73,7 +83,7 @@ Counter& CounterRegistry::at(CounterId id) {
 }
 
 Counter& CounterRegistry::get(const std::string& name) {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  util::MutexLock lock(impl_->mutex);
   auto& slot = impl_->named[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
@@ -85,7 +95,7 @@ std::vector<std::pair<std::string, u64>> CounterRegistry::snapshot() const {
     out.emplace_back(counter_name(static_cast<CounterId>(i)),
                      impl_->well_known[i].value());
   }
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  util::MutexLock lock(impl_->mutex);
   for (const auto& [name, counter] : impl_->named) {
     out.emplace_back(name, counter->value());
   }
@@ -94,7 +104,7 @@ std::vector<std::pair<std::string, u64>> CounterRegistry::snapshot() const {
 
 void CounterRegistry::reset_all() {
   for (Counter& c : impl_->well_known) c.reset();
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  util::MutexLock lock(impl_->mutex);
   for (auto& [name, counter] : impl_->named) counter->reset();
 }
 

@@ -74,6 +74,11 @@ enum class CounterId : u32 {
   kCheckpointPassesSkipped,///< completed passes restored instead of re-mined
   kArrayReduceBytes,       ///< bytes crossing sum_arrays() shuffles
   kArrayReduceCells,       ///< array cells merged by sum_arrays() reducers
+  kLintUncachedReuse,      ///< YL001 diagnostics emitted by the plan linter
+  kLintBroadcastOverMem,   ///< YL002 diagnostics emitted by the plan linter
+  kLintDeadCache,          ///< YL003 diagnostics emitted by the plan linter
+  kLintFilterPushdown,     ///< YL004 diagnostics emitted by the plan linter
+  kLintDeepLineage,        ///< YL005 diagnostics emitted by the plan linter
   kNumCounters,
 };
 

@@ -4,10 +4,10 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "util/table.h"
+#include "util/thread_annotations.h"
 
 namespace yafim::obs {
 
@@ -43,16 +43,21 @@ void append_escaped(std::string& out, const std::string& s) {
 }  // namespace
 
 struct Tracer::ThreadBuffer {
-  std::mutex mutex;
-  std::vector<TraceEvent> events;
+  util::Mutex mutex;
+  std::vector<TraceEvent> events YAFIM_GUARDED_BY(mutex);
+  std::string name YAFIM_GUARDED_BY(mutex);
+  /// Written once at registration (under Impl::mutex, before the buffer is
+  /// published) and read only by the owning thread afterwards, so it needs
+  /// no guard.
   u32 tid = 0;
-  std::string name;
 };
 
 struct Tracer::Impl {
-  std::mutex mutex;  // guards buffers (the list), drained
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  std::vector<TraceEvent> drained;
+  util::Mutex mutex;
+  /// The list of buffers; each buffer's contents are behind its own mutex
+  /// (two-level locking, always Impl::mutex before ThreadBuffer::mutex).
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers YAFIM_GUARDED_BY(mutex);
+  std::vector<TraceEvent> drained YAFIM_GUARDED_BY(mutex);
   std::atomic<i64> epoch_ns{steady_now_ns()};
 };
 
@@ -68,7 +73,7 @@ Tracer::ThreadBuffer& Tracer::local_buffer() {
   thread_local std::shared_ptr<ThreadBuffer> t_buffer;
   if (!t_buffer) {
     t_buffer = std::make_shared<ThreadBuffer>();
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     t_buffer->tid = static_cast<u32>(impl_->buffers.size());
     impl_->buffers.push_back(t_buffer);
   }
@@ -80,9 +85,9 @@ void Tracer::start() { set_enabled(true); }
 void Tracer::stop() { set_enabled(false); }
 
 void Tracer::reset() {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  util::MutexLock lock(impl_->mutex);
   for (auto& buffer : impl_->buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    util::MutexLock buffer_lock(buffer->mutex);
     buffer->events.clear();
   }
   impl_->drained.clear();
@@ -100,21 +105,21 @@ void Tracer::emit(TraceEvent event) {
   if (!enabled()) return;
   ThreadBuffer& buffer = local_buffer();
   event.tid = buffer.tid;
-  std::lock_guard<std::mutex> lock(buffer.mutex);
+  util::MutexLock lock(buffer.mutex);
   buffer.events.push_back(std::move(event));
 }
 
 void Tracer::set_thread_name(const std::string& name) {
   ThreadBuffer& buffer = local_buffer();
-  std::lock_guard<std::mutex> lock(buffer.mutex);
+  util::MutexLock lock(buffer.mutex);
   buffer.name = name;
 }
 
 void Tracer::drain() {
   const u64 ts = now_us();
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  util::MutexLock lock(impl_->mutex);
   for (auto& buffer : impl_->buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    util::MutexLock buffer_lock(buffer->mutex);
     for (auto& event : buffer->events) {
       impl_->drained.push_back(std::move(event));
     }
@@ -136,7 +141,7 @@ void Tracer::drain() {
 
 std::vector<TraceEvent> Tracer::events() {
   drain();
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  util::MutexLock lock(impl_->mutex);
   return impl_->drained;
 }
 
@@ -153,9 +158,9 @@ std::string Tracer::chrome_json() {
 
   // Thread-name metadata from the buffer registry.
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     for (const auto& buffer : impl_->buffers) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      util::MutexLock buffer_lock(buffer->mutex);
       if (buffer->name.empty()) continue;
       begin_event();
       out += "\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +

@@ -57,6 +57,11 @@ struct ClusterConfig {
   /// the paper's assumption of executors with enough memory (unbounded).
   u64 executor_cache_bytes = 0;
 
+  /// Total RAM per node, in bytes (24 GB on the paper's testbed). Upper
+  /// bound on what a single broadcast value may occupy on an executor; the
+  /// plan linter (engine/lint.h, rule YL002) flags broadcasts past it.
+  u64 executor_memory_bytes = 24ull << 30;
+
   /// HDFS block replication factor.
   u32 hdfs_replication = 3;
   /// HDFS block size.

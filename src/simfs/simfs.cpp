@@ -38,7 +38,7 @@ double SimFS::write(const std::string& path, std::vector<u8> data) {
     file.block_sums.push_back(xxh64(file.data.data() + offset, len));
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   files_[path] = std::move(file);
   bytes_written_ += n;
   return seconds;
@@ -46,7 +46,7 @@ double SimFS::write(const std::string& path, std::vector<u8> data) {
 
 std::vector<u8> SimFS::read(const std::string& path,
                             double* sim_seconds) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = files_.find(path);
   if (it == files_.end()) throw SimFSError(path, SimFSErrorKind::kNotFound);
   const StoredFile& file = it->second;
@@ -102,17 +102,17 @@ std::vector<u8> SimFS::read(const std::string& path,
 }
 
 bool SimFS::exists(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return files_.count(path) > 0;
 }
 
 bool SimFS::remove(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return files_.erase(path) > 0;
 }
 
 std::optional<FileStat> SimFS::stat(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = files_.find(path);
   if (it == files_.end()) return std::nullopt;
   FileStat st;
@@ -122,7 +122,7 @@ std::optional<FileStat> SimFS::stat(const std::string& path) const {
 }
 
 std::vector<std::string> SimFS::list(const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<std::string> out;
   for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
@@ -132,27 +132,27 @@ std::vector<std::string> SimFS::list(const std::string& prefix) const {
 }
 
 u64 SimFS::total_bytes_written() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return bytes_written_;
 }
 
 u64 SimFS::total_bytes_read() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return bytes_read_;
 }
 
 IntegrityStats SimFS::integrity() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return integrity_;
 }
 
 void SimFS::set_verify_checksums(bool on) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   verify_ = on;
 }
 
 void SimFS::debug_corrupt(const std::string& path, u64 byte_index, u8 bit) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = files_.find(path);
   YAFIM_CHECK(it != files_.end(), "debug_corrupt: no such path");
   YAFIM_CHECK(byte_index < it->second.data.size(),

@@ -20,7 +20,6 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -29,6 +28,7 @@
 #include "sim/corruption.h"
 #include "sim/cost_model.h"
 #include "util/common.h"
+#include "util/thread_annotations.h"
 
 namespace yafim::simfs {
 
@@ -139,13 +139,13 @@ class SimFS {
   sim::ClusterConfig cluster_;
   sim::CostModel model_;
   sim::CorruptionProfile corrupt_;
-  bool verify_ = true;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, StoredFile> files_;
-  u64 bytes_written_ = 0;
-  mutable u64 bytes_read_ = 0;
-  mutable IntegrityStats integrity_;
+  mutable util::Mutex mutex_;
+  bool verify_ YAFIM_GUARDED_BY(mutex_) = true;
+  std::map<std::string, StoredFile> files_ YAFIM_GUARDED_BY(mutex_);
+  u64 bytes_written_ YAFIM_GUARDED_BY(mutex_) = 0;
+  mutable u64 bytes_read_ YAFIM_GUARDED_BY(mutex_) = 0;
+  mutable IntegrityStats integrity_ YAFIM_GUARDED_BY(mutex_);
 };
 
 }  // namespace yafim::simfs

@@ -1,7 +1,8 @@
 #include "util/log.h"
 
 #include <cstdio>
-#include <mutex>
+
+#include "util/thread_annotations.h"
 
 namespace yafim {
 namespace log_detail {
@@ -9,7 +10,9 @@ namespace log_detail {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
 namespace {
-std::mutex g_mutex;
+// Serializes whole lines onto stderr (the stream itself is the guarded
+// resource, so there is no variable to GUARDED_BY).
+util::Mutex g_mutex;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -28,7 +31,7 @@ const char* level_tag(LogLevel level) {
 
 void vlog(LogLevel level, const char* fmt, std::va_list args) {
   if (level < g_level.load(std::memory_order_relaxed)) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  util::MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%s] ", level_tag(level));
   std::vfprintf(stderr, fmt, args);
   std::fputc('\n', stderr);

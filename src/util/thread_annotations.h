@@ -1,0 +1,89 @@
+// Clang thread-safety annotations behind a shim, plus annotated lock types.
+//
+// The engine's locking invariants (leaf node-cache locks, the injector's
+// registry lock, the tracer's two-level buffer locks) were previously
+// enforced only by comments and TSan runs. These macros let clang prove them
+// at compile time (-Wthread-safety, gated by the YAFIM_THREAD_SAFETY CMake
+// option); under gcc they expand to nothing, so the default build is
+// unaffected.
+//
+// libstdc++'s std::mutex carries no annotations, so annotated code uses the
+// util::Mutex / util::MutexLock / util::CondVar wrappers below. They are
+// zero-cost shims over the std primitives (CondVar uses
+// std::condition_variable_any so it can wait on Mutex as a BasicLockable;
+// waiters spell the predicate loop out manually, which is what the analysis
+// can see through).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define YAFIM_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define YAFIM_THREAD_ANNOTATION__(x)
+#endif
+
+#define YAFIM_CAPABILITY(x) YAFIM_THREAD_ANNOTATION__(capability(x))
+#define YAFIM_SCOPED_CAPABILITY YAFIM_THREAD_ANNOTATION__(scoped_lockable)
+#define YAFIM_GUARDED_BY(x) YAFIM_THREAD_ANNOTATION__(guarded_by(x))
+#define YAFIM_PT_GUARDED_BY(x) YAFIM_THREAD_ANNOTATION__(pt_guarded_by(x))
+#define YAFIM_REQUIRES(...) \
+  YAFIM_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define YAFIM_ACQUIRE(...) \
+  YAFIM_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define YAFIM_RELEASE(...) \
+  YAFIM_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define YAFIM_TRY_ACQUIRE(...) \
+  YAFIM_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define YAFIM_EXCLUDES(...) \
+  YAFIM_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#define YAFIM_NO_THREAD_SAFETY_ANALYSIS \
+  YAFIM_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace yafim::util {
+
+/// std::mutex with the capability annotation the analysis needs.
+class YAFIM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() YAFIM_ACQUIRE() { m_.lock(); }
+  void unlock() YAFIM_RELEASE() { m_.unlock(); }
+  bool try_lock() YAFIM_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII lock over util::Mutex (std::lock_guard analogue).
+class YAFIM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) YAFIM_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() YAFIM_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable waiting on util::Mutex. No predicate overload on
+/// purpose: the analysis cannot look inside a predicate lambda, so waiters
+/// write `while (!cond) cv.wait(mutex);` which it can check.
+class CondVar {
+ public:
+  void wait(Mutex& mutex) YAFIM_REQUIRES(mutex) { cv_.wait(mutex); }
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace yafim::util

@@ -1,0 +1,328 @@
+// Tests for the lineage plan linter (engine/lint.h).
+//
+// One seeded anti-pattern per rule (YL001..YL005), each paired with the
+// nearest clean plan shape that must NOT fire, plus end-to-end runs of both
+// mining pipelines: the stock YAFIM and MRApriori plans are lint-clean, and
+// the uncached-YAFIM ablation trips YL001 by construction.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/broadcast.h"
+#include "engine/context.h"
+#include "engine/lint.h"
+#include "engine/rdd.h"
+#include "fim/mr_apriori.h"
+#include "fim/yafim.h"
+#include "util/rng.h"
+
+namespace yafim::engine {
+namespace {
+
+Context::Options lint_on(u32 max_depth = 32) {
+  Context::Options opts;
+  opts.cluster = sim::ClusterConfig::with_nodes(2);
+  opts.host_threads = 2;
+  opts.lint.enabled = true;
+  opts.lint.max_lineage_depth = max_depth;
+  return opts;
+}
+
+std::vector<int> iota(int n) {
+  std::vector<int> out(n);
+  for (int i = 0; i < n; ++i) out[i] = i;
+  return out;
+}
+
+/// Multi-pass mining input: dense enough that frequent 2-itemsets exist, so
+/// the cached transactions RDD is genuinely read back in Phase II.
+fim::TransactionDB multipass_db() {
+  Rng rng(41);
+  std::vector<fim::Transaction> tx;
+  for (int i = 0; i < 200; ++i) {
+    fim::Transaction t;
+    for (u32 item = 0; item < 12; ++item) {
+      if (rng.bernoulli(0.4)) t.push_back(item);
+    }
+    if (t.empty()) t.push_back(static_cast<fim::Item>(rng.below(12)));
+    tx.push_back(std::move(t));
+  }
+  return fim::TransactionDB(std::move(tx));
+}
+
+void expect_clean(const PlanLinter& linter) {
+  for (const LintDiagnostic& diag : linter.diagnostics()) {
+    ADD_FAILURE() << PlanLinter::format(diag);
+  }
+}
+
+TEST(PlanLinter, DisabledByDefault) {
+  Context ctx([] {
+    Context::Options opts;
+    opts.cluster = sim::ClusterConfig::with_nodes(2);
+    opts.host_threads = 2;
+    return opts;
+  }());
+  EXPECT_FALSE(ctx.linter().enabled());
+  auto rdd = ctx.parallelize(iota(50), 2).map([](const int& x) { return x; });
+  rdd.count();
+  rdd.count();
+  ctx.linter().finalize();
+  EXPECT_TRUE(ctx.linter().diagnostics().empty());
+}
+
+// --- YL001: uncached RDD consumed more than once ------------------------
+
+TEST(PlanLinter, YL001FiresOnUncachedReuse) {
+  Context ctx(lint_on());
+  auto rdd = ctx.parallelize(iota(100), 4)
+                 .map([](const int& x) { return x + 1; })
+                 .named("reused");
+  rdd.count("first");
+  EXPECT_EQ(ctx.linter().count("YL001"), 0u);
+  rdd.count("second");
+  ASSERT_EQ(ctx.linter().count("YL001"), 1u);
+
+  const auto diags = ctx.linter().diagnostics();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "YL001");
+  EXPECT_EQ(diags[0].severity, LintSeverity::kWarn);
+  EXPECT_EQ(diags[0].node_name, "reused");
+
+  // Fires once per node, not once per extra consumption.
+  rdd.count("third");
+  EXPECT_EQ(ctx.linter().count("YL001"), 1u);
+}
+
+TEST(PlanLinter, YL001FlagsOnlyTheTopmostNodeOfAChain) {
+  Context ctx(lint_on());
+  auto rdd = ctx.parallelize(iota(100), 4)
+                 .map([](const int& x) { return x + 1; })
+                 .map([](const int& x) { return x * 2; })
+                 .named("top");
+  rdd.count();
+  rdd.count();
+  // The inner map crossed the threshold in the same walk; flagging both
+  // would be noise.
+  const auto diags = ctx.linter().diagnostics();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].node_name, "top");
+}
+
+TEST(PlanLinter, YL001SilencedByPersist) {
+  Context ctx(lint_on());
+  auto rdd = ctx.parallelize(iota(100), 4)
+                 .map([](const int& x) { return x + 1; });
+  rdd.persist();
+  rdd.count();
+  rdd.count();
+  EXPECT_EQ(ctx.linter().count("YL001"), 0u);
+  ctx.linter().finalize();
+  expect_clean(ctx.linter());  // cache was read back, so no YL003 either
+}
+
+// --- YL002: broadcast payload over executor memory ----------------------
+
+TEST(PlanLinter, YL002FiresOnOversizedBroadcast) {
+  Context ctx(lint_on());
+  const u64 mem = ctx.cluster().executor_memory_bytes;
+  ASSERT_GT(mem, 0u);
+  { auto fits = ctx.broadcast(1, mem / 2, "fits"); }
+  EXPECT_EQ(ctx.linter().count("YL002"), 0u);
+  { auto huge = ctx.broadcast(2, mem + 1, "huge-tree"); }
+  ASSERT_EQ(ctx.linter().count("YL002"), 1u);
+
+  const auto diags = ctx.linter().diagnostics();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "YL002");
+  EXPECT_EQ(diags[0].severity, LintSeverity::kError);
+  EXPECT_EQ(diags[0].node_name, "huge-tree");
+  EXPECT_TRUE(ctx.linter().any_at_least(LintSeverity::kError));
+}
+
+// --- YL003: persisted RDD whose cache is never read back ----------------
+
+TEST(PlanLinter, YL003FiresOnDeadCache) {
+  Context ctx(lint_on());
+  auto rdd = ctx.parallelize(iota(50), 2)
+                 .map([](const int& x) { return x; })
+                 .named("dead");
+  rdd.persist();
+  rdd.count();  // materializes the cache; nothing ever reads it back
+  ctx.linter().finalize();
+  ASSERT_EQ(ctx.linter().count("YL003"), 1u);
+  const auto diags = ctx.linter().diagnostics();
+  EXPECT_EQ(diags[0].node_name, "dead");
+  EXPECT_EQ(diags[0].severity, LintSeverity::kWarn);
+
+  // finalize() is idempotent per node.
+  ctx.linter().finalize();
+  EXPECT_EQ(ctx.linter().count("YL003"), 1u);
+}
+
+TEST(PlanLinter, YL003FiresOnNeverConsumedPersist) {
+  Context ctx(lint_on());
+  auto rdd = ctx.parallelize(iota(50), 2)
+                 .map([](const int& x) { return x; });
+  rdd.persist();  // dead code: no action ever touches the RDD
+  ctx.linter().finalize();
+  EXPECT_EQ(ctx.linter().count("YL003"), 1u);
+}
+
+TEST(PlanLinter, YL003QuietWhenCacheIsRead) {
+  Context ctx(lint_on());
+  auto rdd = ctx.parallelize(iota(50), 2)
+                 .map([](const int& x) { return x; });
+  rdd.persist();
+  rdd.count();  // fills the cache
+  rdd.count();  // reads it back
+  ctx.linter().finalize();
+  EXPECT_EQ(ctx.linter().count("YL003"), 0u);
+}
+
+// --- YL004: filter above a map feeding a shuffle ------------------------
+
+TEST(PlanLinter, YL004FiresOnPushableFilterFeedingShuffle) {
+  Context ctx(lint_on());
+  using KV = std::pair<int, int>;
+  auto counts =
+      ctx.parallelize(iota(200), 4)
+          .map([](const int& x) { return KV(x % 5, 1); })
+          .filter([](const KV& kv) { return kv.first != 0; })
+          .named("late-filter")
+          .reduce_by_key([](int a, int b) { return a + b; });
+  counts.collect();
+  ASSERT_EQ(ctx.linter().count("YL004"), 1u);
+  const auto diags = ctx.linter().diagnostics();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "YL004");
+  EXPECT_EQ(diags[0].severity, LintSeverity::kNote);
+  EXPECT_EQ(diags[0].node_name, "late-filter");
+}
+
+TEST(PlanLinter, YL004QuietWithoutMapBelow) {
+  Context ctx(lint_on());
+  using KV = std::pair<int, int>;
+  std::vector<KV> pairs;
+  for (int i = 0; i < 200; ++i) pairs.emplace_back(i % 5, 1);
+  auto counts = ctx.parallelize(std::move(pairs), 4)
+                    .filter([](const KV& kv) { return kv.first != 0; })
+                    .reduce_by_key([](int a, int b) { return a + b; });
+  counts.collect();
+  EXPECT_EQ(ctx.linter().count("YL004"), 0u);
+}
+
+TEST(PlanLinter, YL004QuietWhenFilterFeedsAnActionOnly) {
+  // The stock YAFIM shape: filter(MinSup) sits above a shuffle *output* and
+  // is consumed by collect(), not by a shuffle -- nothing to push.
+  Context ctx(lint_on());
+  auto kept = ctx.parallelize(iota(200), 4)
+                  .map([](const int& x) { return x * 3; })
+                  .filter([](const int& x) { return x % 2 == 0; });
+  kept.collect();
+  EXPECT_EQ(ctx.linter().count("YL004"), 0u);
+}
+
+// --- YL005: lineage deeper than the configured threshold ----------------
+
+TEST(PlanLinter, YL005FiresOnDeepLineage) {
+  Context ctx(lint_on(/*max_depth=*/4));
+  auto rdd = ctx.parallelize(iota(10), 2);
+  for (int i = 0; i < 8; ++i) {
+    rdd = rdd.map([](const int& x) { return x; });
+  }
+  rdd.named("deep").count();
+  ASSERT_EQ(ctx.linter().count("YL005"), 1u);
+  const auto diags = ctx.linter().diagnostics();
+  EXPECT_EQ(diags[0].rule, "YL005");
+  EXPECT_EQ(diags[0].severity, LintSeverity::kWarn);
+  EXPECT_EQ(diags[0].node_name, "deep");
+}
+
+TEST(PlanLinter, YL005QuietBelowThreshold) {
+  Context ctx(lint_on(/*max_depth=*/4));
+  auto rdd = ctx.parallelize(iota(10), 2)
+                 .map([](const int& x) { return x; })
+                 .map([](const int& x) { return x; });
+  rdd.count();
+  EXPECT_EQ(ctx.linter().count("YL005"), 0u);
+}
+
+TEST(PlanLinter, YL005CutByPersistedBoundary) {
+  // A materialized cache truncates what a recomputation would replay, so a
+  // cached midpoint keeps a long chain under the threshold.
+  Context ctx(lint_on(/*max_depth=*/4));
+  auto mid = ctx.parallelize(iota(10), 2)
+                 .map([](const int& x) { return x; })
+                 .map([](const int& x) { return x; });
+  mid.persist();
+  mid.count();  // materializes the cache
+  auto deep = mid.map([](const int& x) { return x; })
+                  .map([](const int& x) { return x; });
+  deep.count();
+  EXPECT_EQ(ctx.linter().count("YL005"), 0u);
+}
+
+// --- end-to-end: the mining pipelines -----------------------------------
+
+TEST(PlanLinter, StockYafimPlanIsClean) {
+  const auto db = multipass_db();
+  Context ctx(lint_on());
+  simfs::SimFS fs(ctx.cluster());
+  fim::YafimOptions opt;
+  opt.min_support = 0.2;
+  const auto run = fim::yafim_mine(ctx, fs, db, opt);
+  ASSERT_GT(run.itemsets.max_k(), 1u) << "need a multi-pass run";
+  ctx.linter().finalize();
+  expect_clean(ctx.linter());
+}
+
+TEST(PlanLinter, UncachedYafimTripsYL001) {
+  const auto db = multipass_db();
+  Context ctx(lint_on());
+  simfs::SimFS fs(ctx.cluster());
+  fim::YafimOptions opt;
+  opt.min_support = 0.2;
+  opt.cache_transactions = false;
+  const auto run = fim::yafim_mine(ctx, fs, db, opt);
+  ASSERT_GT(run.itemsets.max_k(), 1u) << "need a multi-pass run";
+  EXPECT_GE(ctx.linter().count("YL001"), 1u);
+  EXPECT_TRUE(ctx.linter().any_at_least(LintSeverity::kWarn));
+}
+
+TEST(PlanLinter, StockMrAprioriPlanIsClean) {
+  const auto db = multipass_db();
+  Context ctx(lint_on());
+  simfs::SimFS fs(ctx.cluster());
+  fim::MrAprioriOptions opt;
+  opt.min_support = 0.2;
+  const auto run = fim::mr_apriori_mine(ctx, fs, db, opt);
+  ASSERT_GT(run.itemsets.total(), 0u);
+  ctx.linter().finalize();
+  expect_clean(ctx.linter());
+}
+
+// --- bookkeeping ---------------------------------------------------------
+
+TEST(PlanLinter, ClearDropsDiagnosticsButKeepsThePlan) {
+  Context ctx(lint_on());
+  auto rdd = ctx.parallelize(iota(100), 4)
+                 .map([](const int& x) { return x; })
+                 .named("again");
+  rdd.count();
+  rdd.count();
+  ASSERT_EQ(ctx.linter().count("YL001"), 1u);
+  ctx.linter().clear();
+  EXPECT_TRUE(ctx.linter().diagnostics().empty());
+  // The plan shadow survives: re-consuming twice re-fires the rule with the
+  // registered debug name intact.
+  rdd.count();
+  rdd.count();
+  ASSERT_EQ(ctx.linter().count("YL001"), 1u);
+  EXPECT_EQ(ctx.linter().diagnostics()[0].node_name, "again");
+}
+
+}  // namespace
+}  // namespace yafim::engine

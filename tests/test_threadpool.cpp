@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <thread>
 
 #include "engine/accumulator.h"
 #include "engine/rdd.h"
@@ -95,6 +96,45 @@ TEST(ThreadPool, DrainsQueueOnDestruction) {
     }
   }  // destructor must wait for queued work
   EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, ShutdownWithTasksStillQueued) {
+  // Unlike DrainsQueueOnDestruction, the first task blocks until the
+  // destructor has started, guaranteeing the queue is non-empty when
+  // stopping_ is raised: shutdown must still run every queued task, and the
+  // workers' stop-check must not race the drain (TSan covers this file).
+  std::atomic<int> counter{0};
+  std::atomic<bool> tearing_down{false};
+  {
+    ThreadPool pool(1);
+    pool.submit([&] {
+      while (!tearing_down.load()) std::this_thread::yield();
+    });
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    tearing_down.store(true);
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, UsableAfterParallelForException) {
+  // An exception escaping parallel_for must leave the pool consistent:
+  // later parallel_for and submit calls run normally on the same workers.
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(16,
+                                 [](u32 i) {
+                                   if (i % 4 == 0) {
+                                     throw std::runtime_error("task dies");
+                                   }
+                                 }),
+               std::runtime_error);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(64, [&](u32 i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); }).get();
+  EXPECT_EQ(counter.load(), 1);
 }
 
 TEST(Accumulator, SingleThreaded) {
