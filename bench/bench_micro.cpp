@@ -9,6 +9,7 @@
 
 #include "datagen/quest.h"
 #include "engine/rdd.h"
+#include "fim/bitmap.h"
 #include "fim/candidate_gen.h"
 #include "fim/dataset.h"
 #include "fim/hash_tree.h"
@@ -88,6 +89,26 @@ void BM_LinearProbe(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * db.size());
 }
 BENCHMARK(BM_LinearProbe)->Arg(100)->Arg(1000)->Arg(10000);
+
+/// The vertical counting kernel (fim/bitmap.h): support of every candidate
+/// in a tree via word-parallel AND + popcount over the per-item rows.
+/// Compare against BM_HashTreeProbe / BM_LinearProbe at the same candidate
+/// counts -- this is the per-pass work the three count modes trade.
+void BM_BitmapAndPopcount(benchmark::State& state) {
+  const auto candidates = random_candidates(
+      static_cast<u32>(state.range(0)), 3, 200, 2);
+  const fim::HashTree tree(candidates);
+  const auto db = quest_db(200);
+  const fim::VerticalBitmapIndex index(db.transactions());
+  std::vector<u64> cells(tree.size());
+  for (auto _ : state) {
+    std::fill(cells.begin(), cells.end(), 0);
+    index.count_candidates(tree, cells.data());
+    benchmark::DoNotOptimize(cells.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BitmapAndPopcount)->Arg(100)->Arg(1000)->Arg(10000);
 
 void BM_AprioriGen(benchmark::State& state) {
   // L2 over a clique of items: quadratic join with heavy pruning.

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Count-mode performance gate for CI.
+
+Compares a fresh BENCH_countmode.json (bench_ablation --json output) against
+the checked-in baseline (bench/baselines/BENCH_countmode_baseline.json,
+generated at the same --scale as the CI run) and fails on regression.
+
+Three checks, tuned to what each quantity can promise:
+
+1. intra-run sim:   the fast counting modes (candidate_id x=1,
+                    vertical_bitmap x=2) must price their pass>=2 counting
+                    stages no worse than the paper-faithful itemset-keyed
+                    path (x=0) in *simulated* seconds. Sim seconds are
+                    bit-deterministic, so the tolerance only absorbs
+                    float-accumulation noise.
+2. baseline sim:    each mode's counting sim seconds must not exceed the
+                    baseline's for the same dataset+mode. Deterministic,
+                    same tight tolerance. Catches absolute cost-model
+                    regressions the intra-run ratio would hide (e.g. every
+                    mode getting uniformly slower).
+3. host speedup:    counting *host* wall-clock varies with the runner, so
+                    absolute seconds are not comparable across machines.
+                    What is stable is the speedup ratio faithful/mode
+                    within one run. Each fast mode's current speedup must
+                    stay above the baseline speedup times (1 - band).
+
+Usage:
+  perf_gate.py CURRENT.json BASELINE.json [--sim-tol 1.02] [--ratio-band 0.5]
+"""
+
+import argparse
+import json
+import sys
+
+MODES = {1: "candidate_id", 2: "vertical_bitmap"}
+
+
+def series_by_dataset(doc, prefix):
+    """{dataset: {x: y}} for every series named '<prefix>:<dataset>'."""
+    out = {}
+    for name, points in doc.get("series", {}).items():
+        if not name.startswith(prefix + ":"):
+            continue
+        dataset = name.split(":", 1)[1]
+        out[dataset] = {int(x): y for x, y in points}
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="fresh BENCH_countmode.json")
+    parser.add_argument("baseline", help="checked-in baseline json")
+    parser.add_argument(
+        "--sim-tol", type=float, default=1.02,
+        help="multiplicative tolerance for deterministic sim seconds")
+    parser.add_argument(
+        "--ratio-band", type=float, default=0.5,
+        help="host speedup may shrink to (1 - band) of the baseline's "
+             "before the gate fails (absorbs runner speed variance)")
+    args = parser.parse_args()
+
+    with open(args.current) as f:
+        current = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    cur_sim = series_by_dataset(current, "countmode_sim_s")
+    cur_host = series_by_dataset(current, "countmode_host_s")
+    base_sim = series_by_dataset(baseline, "countmode_sim_s")
+    base_host = series_by_dataset(baseline, "countmode_host_s")
+
+    if not cur_sim:
+        print("FAIL: no countmode_sim_s series in", args.current)
+        return 1
+    missing = sorted(set(base_sim) - set(cur_sim))
+    if missing:
+        print("FAIL: datasets missing from current run:", ", ".join(missing))
+        return 1
+
+    failures = []
+
+    def check(ok, line):
+        print(("ok   " if ok else "FAIL ") + line)
+        if not ok:
+            failures.append(line)
+
+    for dataset in sorted(cur_sim):
+        sim, host = cur_sim[dataset], cur_host.get(dataset, {})
+        for x, mode in MODES.items():
+            if x not in sim:
+                failures.append(f"{dataset}: mode {mode} missing from run")
+                continue
+            # 1. intra-run: the fast path must actually be the fast path.
+            check(sim[x] <= sim[0] * args.sim_tol,
+                  f"{dataset} {mode}: counting sim {sim[x]:.2f}s vs "
+                  f"faithful {sim[0]:.2f}s (tol x{args.sim_tol})")
+
+        if dataset not in base_sim:
+            print(f"note {dataset}: not in baseline, intra-run checks only")
+            continue
+        bsim, bhost = base_sim[dataset], base_host.get(dataset, {})
+        for x in sorted(sim):
+            mode = MODES.get(x, "itemset_key")
+            # 2. deterministic sim seconds vs baseline, absolute.
+            check(sim[x] <= bsim[x] * args.sim_tol,
+                  f"{dataset} {mode}: counting sim {sim[x]:.2f}s vs "
+                  f"baseline {bsim[x]:.2f}s (tol x{args.sim_tol})")
+        for x, mode in MODES.items():
+            if not (x in host and x in bhost and host[x] > 0 and bhost[x] > 0):
+                continue
+            # 3. host speedup ratio vs baseline, banded.
+            cur_ratio = host[0] / host[x]
+            base_ratio = bhost[0] / bhost[x]
+            floor = base_ratio * (1.0 - args.ratio_band)
+            check(cur_ratio >= floor,
+                  f"{dataset} {mode}: host speedup {cur_ratio:.2f}x vs "
+                  f"baseline {base_ratio:.2f}x (floor {floor:.2f}x)")
+
+    if failures:
+        print(f"\nperf gate: {len(failures)} regression(s)")
+        return 1
+    print("\nperf gate: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

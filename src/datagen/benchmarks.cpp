@@ -2,6 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "util/log.h"
 
 namespace yafim::datagen {
 
@@ -10,6 +18,50 @@ namespace {
 u64 scaled(u64 n, double scale) {
   return std::max<u64>(1, static_cast<u64>(std::llround(
                               static_cast<double>(n) * scale)));
+}
+
+/// YAFIM_DATASET_CACHE lookup-or-generate (see kDatagenFormatVersion).
+/// Writes go through a temp file + rename so a killed bench never leaves a
+/// truncated entry behind for the next run to trip over.
+fim::TransactionDB cached_db(
+    const std::string& name, double scale, u64 seed,
+    const std::function<fim::TransactionDB()>& generate) {
+  const char* cache_dir = std::getenv("YAFIM_DATASET_CACHE");
+  if (cache_dir == nullptr || *cache_dir == '\0') return generate();
+
+  namespace stdfs = std::filesystem;
+  std::ostringstream key;
+  key << name << "-scale" << scale << "-seed" << seed << "-v"
+      << kDatagenFormatVersion << ".tdb";
+  std::error_code ec;
+  stdfs::create_directories(cache_dir, ec);
+  const stdfs::path path = stdfs::path(cache_dir) / key.str();
+
+  if (stdfs::exists(path, ec)) {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<u8> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+    if (in.good() || in.eof()) {
+      log_debug("dataset cache hit: %s", path.string().c_str());
+      return fim::TransactionDB::deserialize(bytes);
+    }
+  }
+
+  fim::TransactionDB db = generate();
+  const std::vector<u8> bytes = db.serialize();
+  const stdfs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out.good()) {
+      stdfs::remove(tmp, ec);
+      return db;  // cache write failure never fails the bench
+    }
+  }
+  stdfs::rename(tmp, path, ec);
+  if (ec) stdfs::remove(tmp, ec);
+  return db;
 }
 
 /// A planted pattern over attributes [first, first + size) at value 0.
@@ -38,7 +90,8 @@ BenchmarkDataset make_mushroom(double scale, u64 seed) {
 
   BenchmarkDataset out;
   out.name = "MushRoom";
-  out.db = generate_dense(spec);
+  out.db = cached_db("mushroom", scale, seed,
+                     [&] { return generate_dense(spec); });
   out.paper_min_support = 0.35;
   out.paper_num_transactions = 8124;
   out.paper_num_items = 119;
@@ -61,7 +114,8 @@ BenchmarkDataset make_t10i4d100k(double scale, u64 seed) {
 
   BenchmarkDataset out;
   out.name = "T10I4D100K";
-  out.db = generate_quest(params);
+  out.db = cached_db("t10i4d100k", scale, seed,
+                     [&] { return generate_quest(params); });
   out.paper_min_support = 0.0025;
   out.paper_num_transactions = 100000;
   out.paper_num_items = 870;
@@ -84,7 +138,8 @@ BenchmarkDataset make_chess(double scale, u64 seed) {
 
   BenchmarkDataset out;
   out.name = "Chess";
-  out.db = generate_dense(spec);
+  out.db = cached_db("chess", scale, seed,
+                     [&] { return generate_dense(spec); });
   out.paper_min_support = 0.85;
   out.paper_num_transactions = 3196;
   out.paper_num_items = 75;
@@ -106,7 +161,8 @@ BenchmarkDataset make_pumsb_star(double scale, u64 seed) {
 
   BenchmarkDataset out;
   out.name = "Pumsb_star";
-  out.db = generate_dense(spec);
+  out.db = cached_db("pumsb_star", scale, seed,
+                     [&] { return generate_dense(spec); });
   out.paper_min_support = 0.65;
   out.paper_num_transactions = 49046;
   out.paper_num_items = 2088;
@@ -120,7 +176,8 @@ BenchmarkDataset make_medical(double scale, u64 seed) {
 
   BenchmarkDataset out;
   out.name = "Medical";
-  out.db = generate_medical(params).db;
+  out.db = cached_db("medical", scale, seed,
+                     [&] { return generate_medical(params).db; });
   out.paper_min_support = 0.03;
   out.paper_num_transactions = params.num_cases;
   out.paper_num_items = params.num_codes;

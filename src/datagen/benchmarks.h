@@ -43,4 +43,13 @@ BenchmarkDataset make_medical(double scale = 1.0, u64 seed = 5);
 /// All four Table I benchmarks, in the paper's order.
 std::vector<BenchmarkDataset> make_paper_benchmarks(double scale = 1.0);
 
+/// Opt-in on-disk dataset cache: when the YAFIM_DATASET_CACHE environment
+/// variable names a directory, every make_* call first looks for a
+/// serialized TransactionDB under a key derived from (dataset, scale, seed,
+/// generator format version) and only generates on a miss. CI restores the
+/// directory across runs (actions/cache keyed on the datagen sources) so
+/// bench lanes skip the generation cost entirely. Bump when any generator's
+/// output changes so stale cache entries can never be replayed.
+constexpr u32 kDatagenFormatVersion = 1;
+
 }  // namespace yafim::datagen

@@ -3,9 +3,21 @@
 #include <algorithm>
 #include <cmath>
 
-#include "engine/bytes_of.h"
-
 namespace yafim::fim {
+
+namespace {
+
+/// Build-time node: owns its bucket/children vectors while the insert/split
+/// algorithm is still moving candidates around. Flattened into the arena
+/// representation (HashTree::Node + the two slot arenas) once the shape is
+/// final, then discarded.
+struct BuildNode {
+  bool leaf = true;
+  std::vector<u32> bucket;    ///< candidate ids (leaf only)
+  std::vector<u32> children;  ///< branching slots -> node index (interior)
+};
+
+}  // namespace
 
 u32 HashTree::default_branching(u64 num_candidates, u32 k) {
   if (num_candidates == 0 || k == 0) return 8;
@@ -17,92 +29,126 @@ u32 HashTree::default_branching(u64 num_candidates, u32 k) {
 
 HashTree::HashTree(std::vector<Itemset> candidates, u32 branching,
                    u32 leaf_capacity)
-    : candidates_(std::move(candidates)),
-      branching_(branching),
-      leaf_capacity_(leaf_capacity) {
+    : branching_(branching), leaf_capacity_(leaf_capacity) {
+  size_ = static_cast<u32>(candidates.size());
   if (branching_ == 0) {
-    const u32 k = candidates_.empty()
-                      ? 1
-                      : static_cast<u32>(candidates_.front().size());
-    branching_ = default_branching(candidates_.size(), k);
+    const u32 k =
+        candidates.empty() ? 1 : static_cast<u32>(candidates.front().size());
+    branching_ = default_branching(candidates.size(), k);
   }
   YAFIM_CHECK(branching_ >= 2, "branching must be >= 2");
   YAFIM_CHECK(leaf_capacity_ >= 1, "leaf capacity must be >= 1");
-  if (!candidates_.empty()) {
-    k_ = static_cast<u32>(candidates_.front().size());
+  if (!candidates.empty()) {
+    k_ = static_cast<u32>(candidates.front().size());
     YAFIM_CHECK(k_ >= 1, "candidates must be non-empty itemsets");
-    for (const Itemset& c : candidates_) {
+    for (const Itemset& c : candidates) {
       YAFIM_CHECK(c.size() == k_, "all candidates must have equal size");
       YAFIM_DCHECK(is_canonical(c), "candidates must be canonical");
     }
   }
 
-  nodes_.emplace_back();  // root starts as an empty leaf
-  for (u32 i = 0; i < candidates_.size(); ++i) insert(i, 0);
-  assign_leaf_ids();
-}
-
-void HashTree::insert(u32 candidate_id, u32 /*depth_hint*/) {
-  u32 node_idx = kRoot;
-  u32 depth = 0;
-  // Descend through interior nodes along the candidate's own items.
-  while (!nodes_[node_idx].leaf) {
-    const Item item = candidates_[candidate_id][depth];
-    const u32 slot = child_slot(item);
-    u32 child = nodes_[node_idx].children[slot];
-    if (child == kNone) {
-      child = static_cast<u32>(nodes_.size());
-      nodes_.emplace_back();  // new empty leaf (may invalidate references)
-      nodes_[node_idx].children[slot] = child;
-    }
-    node_idx = child;
-    ++depth;
+  item_arena_.reserve(size_t{size_} * k_);
+  for (const Itemset& c : candidates) {
+    item_arena_.insert(item_arena_.end(), c.begin(), c.end());
   }
-  nodes_[node_idx].bucket.push_back(candidate_id);
-  if (nodes_[node_idx].bucket.size() > leaf_capacity_ && depth < k_) {
-    split(node_idx, depth);
-  }
-}
 
-void HashTree::split(u32 node_idx, u32 depth) {
-  std::vector<u32> bucket = std::move(nodes_[node_idx].bucket);
-  nodes_[node_idx].bucket.clear();
-  nodes_[node_idx].leaf = false;
-  nodes_[node_idx].children.assign(branching_, kNone);
+  // Phase 1: grow the tree through vector-backed build nodes (the classic
+  // insert-and-split loop). Candidate items are read from the arena so the
+  // input vector is no longer needed past this point.
+  std::vector<BuildNode> build;
+  build.emplace_back();  // root starts as an empty leaf
 
-  for (u32 candidate_id : bucket) {
-    const Item item = candidates_[candidate_id][depth];
-    const u32 slot = child_slot(item);
-    u32 child = nodes_[node_idx].children[slot];
-    if (child == kNone) {
-      child = static_cast<u32>(nodes_.size());
-      nodes_.emplace_back();
-      nodes_[node_idx].children[slot] = child;
+  const auto insert = [&](u32 candidate_id) {
+    const Item* items = candidate_items(candidate_id);
+    u32 node_idx = kRoot;
+    u32 depth = 0;
+    // Descend through interior nodes along the candidate's own items.
+    while (!build[node_idx].leaf) {
+      const u32 slot = child_slot(items[depth]);
+      u32 child = build[node_idx].children[slot];
+      if (child == kNone) {
+        child = static_cast<u32>(build.size());
+        build.emplace_back();  // new empty leaf (may invalidate references)
+        build[node_idx].children[slot] = child;
+      }
+      node_idx = child;
+      ++depth;
     }
-    nodes_[child].bucket.push_back(candidate_id);
-    // A just-split child can itself overflow when many candidates share a
-    // hash path; recurse (bounded by depth < k).
-    if (nodes_[child].bucket.size() > leaf_capacity_ && depth + 1 < k_) {
-      split(child, depth + 1);
+    build[node_idx].bucket.push_back(candidate_id);
+    return std::pair<u32, u32>{node_idx, depth};
+  };
+
+  // A just-split child can itself overflow when many candidates share a
+  // hash path; recurse (bounded by depth < k).
+  const auto split = [&](auto&& self, u32 node_idx, u32 depth) -> void {
+    std::vector<u32> bucket = std::move(build[node_idx].bucket);
+    build[node_idx].bucket.clear();
+    build[node_idx].leaf = false;
+    build[node_idx].children.assign(branching_, kNone);
+
+    for (u32 candidate_id : bucket) {
+      const u32 slot = child_slot(candidate_items(candidate_id)[depth]);
+      u32 child = build[node_idx].children[slot];
+      if (child == kNone) {
+        child = static_cast<u32>(build.size());
+        build.emplace_back();
+        build[node_idx].children[slot] = child;
+      }
+      build[child].bucket.push_back(candidate_id);
+      if (build[child].bucket.size() > leaf_capacity_ && depth + 1 < k_) {
+        self(self, child, depth + 1);
+      }
+    }
+  };
+
+  for (u32 i = 0; i < size_; ++i) {
+    const auto [node_idx, depth] = insert(i);
+    if (build[node_idx].bucket.size() > leaf_capacity_ && depth < k_) {
+      split(split, node_idx, depth);
     }
   }
-}
 
-void HashTree::assign_leaf_ids() {
+  // Phase 2: flatten. Node indices are preserved, so probe traversal order
+  // (and leaf_id assignment, which follows node order) matches the build
+  // tree exactly.
+  nodes_.resize(build.size());
+  bucket_arena_.reserve(size_);
   num_leaves_ = 0;
-  for (Node& node : nodes_) {
-    if (node.leaf) node.leaf_id = num_leaves_++;
+  for (size_t i = 0; i < build.size(); ++i) {
+    const BuildNode& src = build[i];
+    Node& dst = nodes_[i];
+    if (src.leaf) {
+      dst.first = static_cast<u32>(bucket_arena_.size());
+      dst.count = static_cast<u32>(src.bucket.size());
+      dst.leaf_id = num_leaves_++;
+      bucket_arena_.insert(bucket_arena_.end(), src.bucket.begin(),
+                           src.bucket.end());
+    } else {
+      dst.first = static_cast<u32>(child_arena_.size());
+      dst.count = branching_;
+      dst.leaf_id = kNone;
+      child_arena_.insert(child_arena_.end(), src.children.begin(),
+                          src.children.end());
+    }
   }
+}
+
+std::vector<Itemset> HashTree::candidates() const {
+  std::vector<Itemset> out;
+  out.reserve(size_);
+  for (u32 i = 0; i < size_; ++i) out.push_back(candidate(i));
+  return out;
 }
 
 u64 HashTree::serialized_bytes() const {
-  u64 bytes = 16;  // header: k, sizes
-  for (const Itemset& c : candidates_) bytes += engine::byte_size(c);
-  for (const Node& node : nodes_) {
-    bytes += 8 + node.bucket.size() * sizeof(u32) +
-             node.children.size() * sizeof(u32);
-  }
-  return bytes;
+  // Matches the historical per-vector accounting byte for byte: 16-byte
+  // header, (8 + 4k) per candidate itemset, 8 per node plus 4 per bucket or
+  // child slot. Every candidate id occupies exactly one bucket slot and
+  // every interior node carries branching_ child slots, so the arena sizes
+  // are those same sums.
+  return 16 + u64{size_} * (8 + u64{k_} * sizeof(Item)) +
+         nodes_.size() * 8 + bucket_arena_.size() * sizeof(u32) +
+         child_arena_.size() * sizeof(u32);
 }
 
 }  // namespace yafim::fim

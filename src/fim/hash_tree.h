@@ -7,6 +7,15 @@
 // contained in a transaction walks every path the transaction's items can
 // take and containment-checks the reached leaves, visiting each leaf at most
 // once per transaction (stamp-based dedup in Probe).
+//
+// Storage is arena-allocated and index-linked: the tree is built through
+// temporary per-node vectors, then flattened into four contiguous arrays --
+// fixed-size Node records, a leaf-bucket arena, an interior-child arena, and
+// the candidate item arena (all candidates are size k, so candidate ci's
+// items live at [ci*k, (ci+1)*k) with no per-itemset vector header). A probe
+// therefore never chases a heap pointer: every hop is an index into one of
+// the four arrays, and the broadcast payload is four flat buffers instead of
+// a node-count's worth of small allocations.
 #pragma once
 
 #include <vector>
@@ -27,10 +36,20 @@ enum class CountMode {
   /// (tree-local index + the tree's batch-global id offset); itemsets are
   /// materialized from the broadcast tree only for MinSup survivors.
   kCandidateId,
+  /// Vertical: per-item transaction bitmaps built once per partition
+  /// (fim/bitmap.h); candidate support = popcount of the word-parallel AND
+  /// of its item rows. No per-transaction probing at all -- the hash tree
+  /// only carries the candidate arena and the dense id space.
+  kVerticalBitmap,
 };
 
 inline const char* count_mode_name(CountMode mode) {
-  return mode == CountMode::kItemsetKey ? "itemset_key" : "candidate_id";
+  switch (mode) {
+    case CountMode::kItemsetKey: return "itemset_key";
+    case CountMode::kCandidateId: return "candidate_id";
+    case CountMode::kVerticalBitmap: return "vertical_bitmap";
+  }
+  return "unknown";
 }
 
 /// Deterministic hash for dense candidate ids (std::hash<u32> is
@@ -56,12 +75,27 @@ class HashTree {
   static u32 default_branching(u64 num_candidates, u32 k);
 
   u32 k() const { return k_; }
-  u32 size() const { return static_cast<u32>(candidates_.size()); }
+  u32 size() const { return size_; }
   u32 num_leaves() const { return num_leaves_; }
   u32 num_nodes() const { return static_cast<u32>(nodes_.size()); }
 
-  const Itemset& candidate(u32 idx) const { return candidates_[idx]; }
-  const std::vector<Itemset>& candidates() const { return candidates_; }
+  /// Candidate `idx`'s items, a k()-item run in the flat item arena. The
+  /// zero-indirection accessor the hot paths (probe containment checks,
+  /// bitmap AND loops) read.
+  const Item* candidate_items(u32 idx) const {
+    return item_arena_.data() + size_t{idx} * k_;
+  }
+
+  /// Candidate `idx` materialized as an owning Itemset (driver-side
+  /// survivor materialization, MR reducers, tests).
+  Itemset candidate(u32 idx) const {
+    const Item* items = candidate_items(idx);
+    return Itemset(items, items + k_);
+  }
+
+  /// All candidates, materialized (tests/debug only -- the tree itself
+  /// stores just the arena).
+  std::vector<Itemset> candidates() const;
 
   /// Batch-global id base for this tree's candidates: when several levels
   /// are counted in one pass (combine_passes), tree-local index `ci` maps
@@ -84,6 +118,13 @@ class HashTree {
   /// node structure).
   u64 serialized_bytes() const;
 
+  /// Arena introspection (tests): every candidate id sits in exactly one
+  /// leaf bucket, so the bucket arena holds exactly size() slots; the child
+  /// arena holds branching() slots per interior node.
+  u32 bucket_arena_size() const { return static_cast<u32>(bucket_arena_.size()); }
+  u32 child_arena_size() const { return static_cast<u32>(child_arena_.size()); }
+  u32 branching() const { return branching_; }
+
   /// Per-thread scratch for containment enumeration. Reusable across
   /// probes and across trees; never share one Probe between threads.
   /// The visit counters are probe-local running totals, flushed to the obs
@@ -101,7 +142,7 @@ class HashTree {
   /// stage task costs reflect real probe effort.
   template <typename Fn>
   void for_each_contained(const Transaction& t, Probe& probe, Fn&& fn) const {
-    if (candidates_.empty() || t.size() < k_) return;
+    if (size_ == 0 || t.size() < k_) return;
     ++probe.counter;
     if (probe.leaf_stamp.size() < num_leaves_) {
       probe.leaf_stamp.resize(num_leaves_, 0);
@@ -121,31 +162,40 @@ class HashTree {
   /// all candidates); the property tests check the tree against this.
   template <typename Fn>
   void for_each_contained_linear(const Transaction& t, Fn&& fn) const {
-    for (u32 i = 0; i < candidates_.size(); ++i) {
+    for (u32 i = 0; i < size_; ++i) {
       engine::work::add(1);
-      if (contains_all(t, candidates_[i])) fn(i);
+      if (contains_candidate(t, i)) fn(i);
     }
-    obs::count(obs::CounterId::kHashTreeCandChecks, candidates_.size());
+    obs::count(obs::CounterId::kHashTreeCandChecks, size_);
   }
 
  private:
   static constexpr u32 kNone = 0xffffffffu;
   static constexpr u32 kRoot = 0;
 
+  /// Flat arena node: 12 bytes, no owned memory. Leaves (leaf_id != kNone)
+  /// index `count` bucket slots starting at bucket_arena_[first]; interior
+  /// nodes index branching_ child slots starting at child_arena_[first].
   struct Node {
-    bool leaf = true;
-    /// Dense leaf numbering used by Probe stamps (leaves only).
-    u32 leaf_id = 0;
-    /// Candidate ids (leaves only).
-    std::vector<u32> bucket;
-    /// Child node indices, `branching` entries (interior only).
-    std::vector<u32> children;
+    u32 first = 0;
+    u32 count = 0;
+    u32 leaf_id = kNone;
   };
 
   u32 child_slot(Item item) const { return item % branching_; }
-  void insert(u32 candidate_id, u32 depth_hint);
-  void split(u32 node_idx, u32 depth);
-  void assign_leaf_ids();
+
+  /// contains_all() against the item arena: linear merge of the (canonical)
+  /// transaction and candidate `ci`'s k-item run.
+  bool contains_candidate(const Transaction& t, u32 ci) const {
+    const Item* c = candidate_items(ci);
+    size_t ti = 0;
+    for (u32 j = 0; j < k_; ++j) {
+      while (ti < t.size() && t[ti] < c[j]) ++ti;
+      if (ti == t.size() || t[ti] != c[j]) return false;
+      ++ti;
+    }
+    return true;
+  }
 
   template <typename Fn>
   void walk(u32 node_idx, const Transaction& t, size_t pos, u32 depth,
@@ -153,32 +203,40 @@ class HashTree {
     const Node& node = nodes_[node_idx];
     engine::work::add(1);
     ++probe.nodes_visited;
-    if (node.leaf) {
+    if (node.leaf_id != kNone) {
       if (probe.leaf_stamp[node.leaf_id] == probe.counter) return;
       probe.leaf_stamp[node.leaf_id] = probe.counter;
-      for (u32 ci : node.bucket) {
+      const u32* bucket = bucket_arena_.data() + node.first;
+      for (u32 b = 0; b < node.count; ++b) {
         engine::work::add(1);
         ++probe.candidate_checks;
-        if (contains_all(t, candidates_[ci])) fn(ci);
+        if (contains_candidate(t, bucket[b])) fn(bucket[b]);
       }
       return;
     }
     // Choose the next transaction item; keep enough items in reserve to
     // complete a k-path (candidates have exactly k items).
     const size_t remaining_needed = k_ - depth;
+    const u32* children = child_arena_.data() + node.first;
     for (size_t i = pos; i + remaining_needed <= t.size(); ++i) {
-      const u32 child = node.children[child_slot(t[i])];
+      const u32 child = children[child_slot(t[i])];
       if (child != kNone) walk(child, t, i + 1, depth + 1, probe, fn);
     }
   }
 
-  std::vector<Itemset> candidates_;
+  /// Candidate items, size_ * k_ entries; candidate ci at [ci*k_, ci*k_+k_).
+  std::vector<Item> item_arena_;
+  /// Leaf buckets, concatenated; exactly one slot per candidate.
+  std::vector<u32> bucket_arena_;
+  /// Interior child tables, concatenated; branching_ slots per interior.
+  std::vector<u32> child_arena_;
+  std::vector<Node> nodes_;
   u64 id_offset_ = 0;
+  u32 size_ = 0;
   u32 k_ = 0;
   u32 branching_ = 8;
   u32 leaf_capacity_ = 16;
   u32 num_leaves_ = 0;
-  std::vector<Node> nodes_;
 };
 
 }  // namespace yafim::fim

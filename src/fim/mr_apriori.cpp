@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "fim/bitmap.h"
 #include "fim/candidate_gen.h"
 #include "fim/hash_tree.h"
 #include "fim/mr_encode.h"
@@ -180,7 +181,37 @@ MiningRun mr_apriori_mine(engine::Context& ctx, simfs::SimFS& fs,
     const bool use_hash_tree = options.use_hash_tree;
     Stopwatch count_clock;
     mr::JobResult<CountPair> result;
-    if (options.count_mode == CountMode::kItemsetKey) {
+    if (options.count_mode == CountMode::kVerticalBitmap) {
+      // Vertical: each map split builds a bitmap index over its
+      // transactions (MapReduce has no cross-job cache, so the index is
+      // rebuilt per level -- the honest cost of the substrate) and emits
+      // one (candidate_id, count) pair per candidate with nonzero support.
+      IdSpec job;
+      job.name = job_name;
+      job.decode_input = decode_transactions;
+      job.map_partition_fn = [tree](std::span<const Transaction> split,
+                                    mr::Emitter<u32, u64>& emit) {
+        const VerticalBitmapIndex index(split);
+        std::vector<u64> cells(tree->size(), 0);
+        index.count_candidates(*tree, cells.data());
+        for (u32 ci = 0; ci < cells.size(); ++ci) {
+          if (cells[ci] != 0) emit.emit(ci, cells[ci]);
+        }
+      };
+      job.combine_fn = [](const u64& a, const u64& b) { return a + b; };
+      job.reduce_fn = [tree, min_count](const u32& ci, std::vector<u64>& values)
+          -> std::optional<CountPair> {
+        u64 sum = 0;
+        for (u64 v : values) sum += v;
+        if (sum < min_count) return std::nullopt;
+        return CountPair(tree->candidate(ci), sum);
+      };
+      job.encode_output = encode_counts;
+      job.num_mappers = options.num_mappers;
+      job.num_reducers = options.num_reducers;
+      job.distributed_cache_bytes = tree->serialized_bytes();
+      result = runner.run(job, input_path, out_path);
+    } else if (options.count_mode == CountMode::kItemsetKey) {
       // Paper-faithful: mappers emit (itemset, 1) for every hit.
       Spec job;
       job.name = job_name;

@@ -8,6 +8,7 @@
 
 #include "engine/broadcast.h"
 #include "engine/rdd.h"
+#include "fim/bitmap.h"
 #include "fim/candidate_gen.h"
 #include "fim/hash_tree.h"
 #include "obs/metrics.h"
@@ -175,6 +176,11 @@ MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
   // With combine_passes > 1, one cluster pass counts a batch of candidate
   // levels (levels beyond the first generated from candidates, a superset
   // of the true Ck -- results stay exact).
+  //
+  // kVerticalBitmap keeps a second cached RDD: one VerticalBitmapIndex per
+  // transactions partition, built lazily on the first counting pass and
+  // reused (cache-hit) by every later pass.
+  std::optional<engine::RDD<VerticalBitmapIndex>> vertical;
   for (u32 k = last_completed + 1; !frequent.empty();) {
     if (options.stop_after_pass && last_completed >= options.stop_after_pass) {
       break;  // simulated crash: the last snapshot is the recovery point
@@ -238,9 +244,28 @@ MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
       ctx.record(std::move(gen));
     }
 
+    // Vertical mode: build the per-partition bitmap index once, on the
+    // first counting pass; the persisted RDD serves every later pass from
+    // cache, so candidate counting never rescans transactions again.
+    const bool bitmap_mode = options.count_mode == CountMode::kVerticalBitmap;
+    const bool builds_vertical = bitmap_mode && !vertical;
+    if (builds_vertical) {
+      vertical.emplace(
+          transactions
+              .map_partitions([](const std::vector<Transaction>& part) {
+                std::vector<VerticalBitmapIndex> out;
+                out.emplace_back(part);
+                return out;
+              })
+              .named("vertical:bitmaps"));
+      vertical->persist();
+    }
+
     // Without caching, Spark recomputes the transactions lineage from
-    // HDFS on every action: charge the re-read and the re-parse.
-    if (!options.cache_transactions) {
+    // HDFS on every action: charge the re-read and the re-parse. Bitmap
+    // passes read the cached vertical index instead, so only the pass that
+    // builds it pays the recompute.
+    if (!options.cache_transactions && (!bitmap_mode || builds_vertical)) {
       ctx.record(
           parse_stage("pass" + std::to_string(k) + ":recompute lineage"));
     }
@@ -284,32 +309,57 @@ MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
               .named(pass_name + ":frequent")
               .collect(pass_name + ":collect");
     } else {
-      // Dense: each partition counts hits into one id-indexed array (no
-      // per-hit itemset copies), arrays merge element-wise across the
-      // shuffle, and itemsets are materialized from the broadcast tree
-      // only for MinSup survivors.
-      const std::vector<u64> counts =
-          transactions
-              .map_partitions([broadcast_trees, use_hash_tree,
-                               id_space](const std::vector<Transaction>& part) {
-                std::vector<u64> acc(id_space, 0);
-                for (const Transaction& t : part) {
-                  for (const HashTree& tree : **broadcast_trees) {
-                    u64* cells = acc.data() + tree.id_offset();
-                    auto on_hit = [cells](u32 ci) { ++cells[ci]; };
-                    if (use_hash_tree) {
-                      static thread_local HashTree::Probe probe;
-                      tree.for_each_contained(t, probe, on_hit);
-                    } else {
-                      tree.for_each_contained_linear(t, on_hit);
+      // Both dense paths count into one id-indexed array per partition,
+      // merge the arrays element-wise across the shuffle, and materialize
+      // itemsets from the broadcast tree only for MinSup survivors.
+      std::vector<u64> counts;
+      if (options.count_mode == CountMode::kCandidateId) {
+        // Dense probing: per-transaction hash-tree walks, no per-hit
+        // itemset copies.
+        counts =
+            transactions
+                .map_partitions([broadcast_trees, use_hash_tree, id_space](
+                                    const std::vector<Transaction>& part) {
+                  std::vector<u64> acc(id_space, 0);
+                  for (const Transaction& t : part) {
+                    for (const HashTree& tree : **broadcast_trees) {
+                      u64* cells = acc.data() + tree.id_offset();
+                      auto on_hit = [cells](u32 ci) { ++cells[ci]; };
+                      if (use_hash_tree) {
+                        static thread_local HashTree::Probe probe;
+                        tree.for_each_contained(t, probe, on_hit);
+                      } else {
+                        tree.for_each_contained_linear(t, on_hit);
+                      }
                     }
                   }
-                }
-                std::vector<std::vector<u64>> out;
-                out.push_back(std::move(acc));
-                return out;
-              })
-              .sum_arrays(id_space, pass_name + ":count");
+                  std::vector<std::vector<u64>> out;
+                  out.push_back(std::move(acc));
+                  return out;
+                })
+                .sum_arrays(id_space, pass_name + ":count");
+      } else {
+        // Vertical: no per-transaction work at all -- each partition's
+        // cached bitmap index answers every candidate with a word-parallel
+        // AND + popcount over its item rows.
+        counts =
+            vertical
+                ->map_partitions(
+                    [broadcast_trees,
+                     id_space](const std::vector<VerticalBitmapIndex>& part) {
+                      std::vector<u64> acc(id_space, 0);
+                      for (const VerticalBitmapIndex& index : part) {
+                        for (const HashTree& tree : **broadcast_trees) {
+                          index.count_candidates(
+                              tree, acc.data() + tree.id_offset());
+                        }
+                      }
+                      std::vector<std::vector<u64>> out;
+                      out.push_back(std::move(acc));
+                      return out;
+                    })
+                .sum_arrays(id_space, pass_name + ":count");
+      }
 
       engine::work::Scope mat_scope;
       level.clear();

@@ -39,8 +39,11 @@ struct YafimOptions {
   /// How Phase II counts candidate hits (fim/hash_tree.h). kItemsetKey is
   /// the paper-faithful shuffle keyed on full itemsets; kCandidateId (the
   /// default) counts into dense per-partition arrays indexed by candidate
-  /// id and merges them with sum_arrays(). Both yield bit-identical
-  /// FrequentItemsets; only the data structure and its pricing differ.
+  /// id and merges them with sum_arrays(); kVerticalBitmap builds a cached
+  /// per-partition bitmap index (fim/bitmap.h) on the first counting pass
+  /// and answers each candidate with an AND+popcount over its item rows.
+  /// All three yield bit-identical FrequentItemsets; only the data
+  /// structure and its pricing differ.
   CountMode count_mode = CountMode::kCandidateId;
 
   /// Hash-tree tuning.

@@ -54,6 +54,9 @@ const char* counter_name(CounterId id) {
     case CounterId::kLintDeadCache: return "lint.dead_cache";
     case CounterId::kLintFilterPushdown: return "lint.filter_pushdown";
     case CounterId::kLintDeepLineage: return "lint.deep_lineage";
+    case CounterId::kBitmapIndexBytes: return "bitmap.index_bytes";
+    case CounterId::kBitmapAndWords: return "bitmap.and_words";
+    case CounterId::kBitmapPopcounts: return "bitmap.popcounts";
     case CounterId::kNumCounters: break;
   }
   return "unknown";

@@ -79,6 +79,9 @@ enum class CounterId : u32 {
   kLintDeadCache,          ///< YL003 diagnostics emitted by the plan linter
   kLintFilterPushdown,     ///< YL004 diagnostics emitted by the plan linter
   kLintDeepLineage,        ///< YL005 diagnostics emitted by the plan linter
+  kBitmapIndexBytes,       ///< vertical bitmap index arena bytes built
+  kBitmapAndWords,         ///< 64-bit words ANDed by bitmap support counting
+  kBitmapPopcounts,        ///< popcount ops issued by bitmap support counting
   kNumCounters,
 };
 

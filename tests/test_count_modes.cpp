@@ -1,20 +1,24 @@
 // Count-mode equivalence and pricing tests.
 //
-// The dense candidate-id counting path (CountMode::kCandidateId) must be
-// an exact drop-in for the paper-faithful itemset-keyed path: bit-identical
-// FrequentItemsets across pass batching, fault/corruption injection and
-// both engines, with mode-invariant observability counters (probe effort,
-// candidate generation) agreeing as well. Also covers the sum_arrays RDD
-// action the dense path is built on, the adversarial-hash reduce bucket
-// case, and the stage-pricing exactness fixes (split_work).
+// The dense candidate-id path (CountMode::kCandidateId) and the vertical
+// bitmap path (CountMode::kVerticalBitmap) must be exact drop-ins for the
+// paper-faithful itemset-keyed path: bit-identical FrequentItemsets across
+// pass batching, fault/corruption injection, checkpoint resume and both
+// engines, with mode-invariant observability counters (candidate
+// generation, broadcast/DFS traffic) agreeing as well. Also covers the
+// sum_arrays RDD action the dense paths are built on, the adversarial-hash
+// reduce bucket case, and the stage-pricing exactness fixes (split_work).
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "engine/error.h"
 #include "engine/rdd.h"
 #include "fim/apriori_seq.h"
+#include "fim/checkpoint.h"
 #include "fim/mr_apriori.h"
 #include "fim/yafim.h"
 #include "obs/metrics.h"
@@ -22,6 +26,10 @@
 
 namespace yafim::fim {
 namespace {
+
+constexpr CountMode kAllModes[] = {CountMode::kItemsetKey,
+                                   CountMode::kCandidateId,
+                                   CountMode::kVerticalBitmap};
 
 engine::Context::Options small_cluster() {
   engine::Context::Options opts;
@@ -70,17 +78,20 @@ TEST(CountModes, YafimBitIdenticalAcrossModesAndBatching) {
 
   for (u32 combine : {1u, 3u}) {
     const auto faithful = run_yafim(db, CountMode::kItemsetKey, combine);
-    const auto dense = run_yafim(db, CountMode::kCandidateId, combine);
     EXPECT_TRUE(faithful.itemsets.same_itemsets(seq.itemsets))
         << "combine=" << combine;
-    EXPECT_TRUE(dense.itemsets.same_itemsets(faithful.itemsets))
-        << "combine=" << combine;
-    // Same candidate levels were generated and verified in both modes.
-    ASSERT_EQ(dense.passes.size(), faithful.passes.size());
-    for (size_t i = 0; i < dense.passes.size(); ++i) {
-      EXPECT_EQ(dense.passes[i].k, faithful.passes[i].k);
-      EXPECT_EQ(dense.passes[i].candidates, faithful.passes[i].candidates);
-      EXPECT_EQ(dense.passes[i].frequent, faithful.passes[i].frequent);
+    for (CountMode mode :
+         {CountMode::kCandidateId, CountMode::kVerticalBitmap}) {
+      const auto run = run_yafim(db, mode, combine);
+      EXPECT_TRUE(run.itemsets.same_itemsets(faithful.itemsets))
+          << count_mode_name(mode) << " combine=" << combine;
+      // Same candidate levels were generated and verified in every mode.
+      ASSERT_EQ(run.passes.size(), faithful.passes.size());
+      for (size_t i = 0; i < run.passes.size(); ++i) {
+        EXPECT_EQ(run.passes[i].k, faithful.passes[i].k);
+        EXPECT_EQ(run.passes[i].candidates, faithful.passes[i].candidates);
+        EXPECT_EQ(run.passes[i].frequent, faithful.passes[i].frequent);
+      }
     }
   }
 }
@@ -89,7 +100,7 @@ TEST(CountModes, YafimBitIdenticalUnderFaultInjection) {
   const auto db = random_db(14, 200, 0.4, 7);
   const auto reference = run_yafim(db, CountMode::kItemsetKey, 1);
 
-  for (CountMode mode : {CountMode::kItemsetKey, CountMode::kCandidateId}) {
+  for (CountMode mode : kAllModes) {
     for (u32 combine : {1u, 3u}) {
       auto copts = small_cluster();
       copts.fault.seed = 99;
@@ -106,7 +117,7 @@ TEST(CountModes, YafimBitIdenticalUnderCorruptionInjection) {
   const auto db = random_db(14, 200, 0.4, 8);
   const auto reference = run_yafim(db, CountMode::kItemsetKey, 1);
 
-  for (CountMode mode : {CountMode::kItemsetKey, CountMode::kCandidateId}) {
+  for (CountMode mode : kAllModes) {
     auto copts = small_cluster();
     copts.cluster.hdfs_block_bytes = 1024;
     copts.fault.corrupt.seed = 11;
@@ -118,11 +129,43 @@ TEST(CountModes, YafimBitIdenticalUnderCorruptionInjection) {
   }
 }
 
+TEST(CountModes, BitmapResumeFromCheckpointIsBitIdentical) {
+  // Crash mid-mine in bitmap mode, resume from the snapshot: the rebuilt
+  // vertical index (lazily re-created on the first post-resume pass) must
+  // not perturb the mined output.
+  const auto db = random_db(16, 200, 0.45, 100);
+  const auto reference = run_yafim(db, CountMode::kVerticalBitmap, 1);
+  ASSERT_GE(reference.passes.size(), 3u) << "need k >= 3 to test resume";
+
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "ck_bitmap_resume";
+  std::filesystem::remove_all(dir);
+  DirCheckpointStore store(dir.string());
+  engine::Context::Options copts = small_cluster();
+  YafimOptions opt;
+  opt.min_support = 0.2;
+  opt.count_mode = CountMode::kVerticalBitmap;
+  opt.checkpoint = &store;
+  opt.stop_after_pass = 2;
+  {
+    engine::Context ctx(copts);
+    simfs::SimFS fs(ctx.cluster());
+    const auto partial = yafim_mine(ctx, fs, db, opt);
+    EXPECT_EQ(partial.passes.back().k, 2u);
+  }
+  opt.stop_after_pass = 0;
+  engine::Context ctx(copts);
+  simfs::SimFS fs(ctx.cluster());
+  const auto resumed = yafim_mine(ctx, fs, db, opt);
+  EXPECT_EQ(resumed.resumed_pass, 2u);
+  EXPECT_EQ(resumed.itemsets.sorted(), reference.itemsets.sorted());
+}
+
 TEST(CountModes, MrAprioriBitIdenticalAcrossModes) {
   const auto db = random_db(16, 250, 0.35, 42);
   const auto yafim_ref = run_yafim(db, CountMode::kCandidateId, 1);
 
-  for (CountMode mode : {CountMode::kItemsetKey, CountMode::kCandidateId}) {
+  for (CountMode mode : kAllModes) {
     engine::Context ctx(small_cluster());
     simfs::SimFS fs(ctx.cluster());
     MrAprioriOptions opt;
@@ -136,47 +179,79 @@ TEST(CountModes, MrAprioriBitIdenticalAcrossModes) {
 
 // ---- observability-counter agreement ------------------------------------
 
-/// Counters that must not depend on how the counting shuffle is keyed:
-/// probe effort and candidate generation happen identically in both modes.
+/// Counters that must not depend on how counting is performed at all:
+/// candidate generation and broadcast/DFS traffic are identical across all
+/// three modes.
 const obs::CounterId kModeInvariantCounters[] = {
-    obs::CounterId::kHashTreeNodesVisited,
-    obs::CounterId::kHashTreeCandChecks,
     obs::CounterId::kCandidatesGenerated,
     obs::CounterId::kCandidatesPruned,
     obs::CounterId::kBroadcastBytes,
     obs::CounterId::kDfsReadBytes,
 };
 
+/// Probe-effort counters: identical between the two probing modes, and
+/// exactly zero for the bitmap mode (no tree walking happens at all).
+const obs::CounterId kProbeCounters[] = {
+    obs::CounterId::kHashTreeNodesVisited,
+    obs::CounterId::kHashTreeCandChecks,
+};
+
 std::vector<u64> traced_counters(const TransactionDB& db, CountMode mode,
-                                 u32 combine,
-                                 engine::Context::Options copts) {
+                                 u32 combine, engine::Context::Options copts,
+                                 std::span<const obs::CounterId> ids) {
   obs::CounterRegistry::instance().reset_all();
   obs::set_enabled(true);
   (void)run_yafim(db, mode, combine, copts);
   obs::set_enabled(false);
   std::vector<u64> values;
-  for (obs::CounterId id : kModeInvariantCounters) {
-    values.push_back(obs::counter_value(id));
-  }
+  for (obs::CounterId id : ids) values.push_back(obs::counter_value(id));
   return values;
 }
 
 TEST(CountModes, ModeInvariantCountersAgree) {
   const auto db = random_db(15, 220, 0.35, 21);
   for (u32 combine : {1u, 3u}) {
-    const auto faithful =
-        traced_counters(db, CountMode::kItemsetKey, combine, small_cluster());
-    const auto dense =
-        traced_counters(db, CountMode::kCandidateId, combine, small_cluster());
-    ASSERT_EQ(faithful.size(), dense.size());
-    for (size_t i = 0; i < faithful.size(); ++i) {
-      EXPECT_EQ(faithful[i], dense[i])
-          << obs::counter_name(kModeInvariantCounters[i])
-          << " combine=" << combine;
+    const auto faithful = traced_counters(
+        db, CountMode::kItemsetKey, combine, small_cluster(),
+        kModeInvariantCounters);
+    for (CountMode mode :
+         {CountMode::kCandidateId, CountMode::kVerticalBitmap}) {
+      const auto values = traced_counters(db, mode, combine, small_cluster(),
+                                          kModeInvariantCounters);
+      ASSERT_EQ(faithful.size(), values.size());
+      for (size_t i = 0; i < faithful.size(); ++i) {
+        EXPECT_EQ(faithful[i], values[i])
+            << count_mode_name(mode) << " "
+            << obs::counter_name(kModeInvariantCounters[i])
+            << " combine=" << combine;
+      }
     }
-    // The probes did real work in both runs.
-    EXPECT_GT(dense[0], 0u) << "hash-tree probes missing";
   }
+}
+
+TEST(CountModes, ProbeCountersAgreeBetweenProbingModes) {
+  const auto db = random_db(15, 220, 0.35, 21);
+  const auto faithful = traced_counters(db, CountMode::kItemsetKey, 1,
+                                        small_cluster(), kProbeCounters);
+  const auto dense = traced_counters(db, CountMode::kCandidateId, 1,
+                                     small_cluster(), kProbeCounters);
+  EXPECT_EQ(faithful, dense);
+  EXPECT_GT(dense[0], 0u) << "hash-tree probes missing";
+}
+
+TEST(CountModes, BitmapModeSkipsProbesAndRecordsBitmapWork) {
+  const auto db = random_db(15, 220, 0.35, 21);
+  obs::CounterRegistry::instance().reset_all();
+  obs::set_enabled(true);
+  (void)run_yafim(db, CountMode::kVerticalBitmap, 1);
+  obs::set_enabled(false);
+  // No per-transaction tree walking on this path...
+  EXPECT_EQ(obs::counter_value(obs::CounterId::kHashTreeNodesVisited), 0u);
+  EXPECT_EQ(obs::counter_value(obs::CounterId::kHashTreeCandChecks), 0u);
+  // ...the work shows up in the bitmap counters instead.
+  EXPECT_GT(obs::counter_value(obs::CounterId::kBitmapIndexBytes), 0u);
+  EXPECT_GT(obs::counter_value(obs::CounterId::kBitmapAndWords), 0u);
+  EXPECT_GT(obs::counter_value(obs::CounterId::kBitmapPopcounts), 0u);
 }
 
 TEST(CountModes, CountersReproducibleUnderFaultInjection) {
@@ -184,12 +259,14 @@ TEST(CountModes, CountersReproducibleUnderFaultInjection) {
   // cross-mode comparison no longer applies; what must still hold is exact
   // run-to-run reproducibility for a fixed (mode, seed).
   const auto db = random_db(14, 180, 0.4, 5);
-  for (CountMode mode : {CountMode::kItemsetKey, CountMode::kCandidateId}) {
+  for (CountMode mode : kAllModes) {
     auto copts = small_cluster();
     copts.fault.seed = 123;
     copts.fault.task_failure_p = 0.08;
-    const auto first = traced_counters(db, mode, 1, copts);
-    const auto second = traced_counters(db, mode, 1, copts);
+    const auto first =
+        traced_counters(db, mode, 1, copts, kModeInvariantCounters);
+    const auto second =
+        traced_counters(db, mode, 1, copts, kModeInvariantCounters);
     EXPECT_EQ(first, second) << count_mode_name(mode);
   }
 }

@@ -90,6 +90,80 @@ TEST(HashTree, ProbeReusableAcrossTransactionsAndTrees) {
   EXPECT_EQ(probe_tree(tree_b, {2, 3, 4, 9}, probe).size(), 1u);
 }
 
+// ---- arena / flat-node layout -------------------------------------------
+
+TEST(HashTree, ArenaEmptyCandidateBatch) {
+  HashTree tree({});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.bucket_arena_size(), 0u);
+  EXPECT_EQ(tree.child_arena_size(), 0u);
+  EXPECT_EQ(tree.num_nodes(), 1u);  // the root, an empty leaf
+  EXPECT_EQ(tree.num_leaves(), 1u);
+  EXPECT_TRUE(tree.candidates().empty());
+  // Header-only wire size: no candidates, one bucket-less leaf node.
+  EXPECT_EQ(tree.serialized_bytes(), 16u + 8u);
+}
+
+TEST(HashTree, ArenaHoldsEveryCandidateExactlyOnce) {
+  std::vector<Itemset> candidates;
+  for (u32 a = 0; a < 12; ++a) {
+    for (u32 b = 12; b < 24; ++b) candidates.push_back({a, b});
+  }
+  HashTree tree(candidates, /*branching=*/4, /*leaf_capacity=*/3);
+  // One bucket slot per candidate, branching slots per interior node.
+  EXPECT_EQ(tree.bucket_arena_size(), tree.size());
+  EXPECT_EQ(tree.child_arena_size(),
+            (tree.num_nodes() - tree.num_leaves()) * tree.branching());
+  // The item arena round-trips every candidate in insertion order.
+  for (u32 ci = 0; ci < tree.size(); ++ci) {
+    EXPECT_EQ(tree.candidate(ci), candidates[ci]) << ci;
+    const Item* items = tree.candidate_items(ci);
+    for (u32 j = 0; j < tree.k(); ++j) EXPECT_EQ(items[j], candidates[ci][j]);
+  }
+}
+
+TEST(HashTree, ArenaSingleBucketAdversarialHash) {
+  // Every item congruent mod branching: all candidates hash down one path,
+  // so splits never spread the load and depth-k leaves soak up everything.
+  constexpr u32 kBranching = 8;
+  std::vector<Itemset> candidates;
+  for (u32 a = 0; a < 6; ++a) {
+    for (u32 b = a + 1; b < 7; ++b) {
+      candidates.push_back({a * kBranching, b * kBranching});
+    }
+  }
+  HashTree tree(candidates, kBranching, /*leaf_capacity=*/2);
+  EXPECT_EQ(tree.bucket_arena_size(), tree.size());
+
+  // Probing still agrees with the linear scan under maximal collision.
+  HashTree::Probe probe;
+  Transaction t;
+  for (u32 a = 0; a < 7; ++a) t.push_back(a * kBranching);
+  EXPECT_EQ(probe_tree(tree, t, probe), probe_linear(tree, t));
+  EXPECT_EQ(probe_tree(tree, t, probe).size(), candidates.size());
+}
+
+TEST(HashTree, IdOffsetAssignmentAcrossBatches) {
+  std::vector<HashTree> trees;
+  trees.emplace_back(std::vector<Itemset>{{1, 2}, {2, 3}, {3, 4}});
+  trees.emplace_back(std::vector<Itemset>{});  // empty level mid-batch
+  trees.emplace_back(std::vector<Itemset>{{1, 2, 3}, {2, 3, 4}});
+  const u64 id_space = HashTree::assign_id_offsets(trees);
+  EXPECT_EQ(id_space, 5u);
+  EXPECT_EQ(trees[0].id_offset(), 0u);
+  EXPECT_EQ(trees[1].id_offset(), 3u);  // empty tree claims a zero-width range
+  EXPECT_EQ(trees[2].id_offset(), 3u);
+  // Global ids tile the space with no gaps or overlaps.
+  std::set<u64> ids;
+  for (const HashTree& tree : trees) {
+    for (u32 ci = 0; ci < tree.size(); ++ci) {
+      EXPECT_TRUE(ids.insert(tree.id_offset() + ci).second);
+    }
+  }
+  EXPECT_EQ(ids.size(), id_space);
+  EXPECT_EQ(*ids.rbegin() + 1, id_space);
+}
+
 TEST(HashTree, DefaultBranchingScalesWithCandidates) {
   EXPECT_EQ(HashTree::default_branching(0, 2), 8u);
   EXPECT_GE(HashTree::default_branching(50000, 2), 400u);

@@ -120,7 +120,11 @@ INSTANTIATE_TEST_SUITE_P(Sweep, ShuffleOpsSweep,
 // ---- engine: work accounting invariants ----------------------------------
 
 TEST(WorkAccounting, FusedChainCountsEveryOperator) {
-  engine::Context ctx(small_cluster());
+  // Exact work counts: injected task failures would add wasted-work units,
+  // so this test opts out of the ambient fault-matrix profile.
+  engine::Context::Options opts = small_cluster();
+  opts.fault = engine::FaultProfile{};
+  engine::Context ctx(opts);
   std::vector<int> data(100);
   std::iota(data.begin(), data.end(), 0);
   // map (100) + filter (100) + map (50) = 250 units for the collect stage.
@@ -133,7 +137,11 @@ TEST(WorkAccounting, FusedChainCountsEveryOperator) {
 }
 
 TEST(WorkAccounting, CachedRddChargesComputeOnlyOnce) {
-  engine::Context ctx(small_cluster());
+  // Exact work counts: ambient cache corruption would drop a cached
+  // partition and recharge its recompute, so opt out of the env profile.
+  engine::Context::Options opts = small_cluster();
+  opts.fault = engine::FaultProfile{};
+  engine::Context ctx(opts);
   std::vector<int> data(100);
   std::iota(data.begin(), data.end(), 0);
   auto rdd = ctx.parallelize(std::move(data), 4).map([](const int& x) {

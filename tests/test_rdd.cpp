@@ -203,7 +203,11 @@ TEST(Rdd, CollectAsMapRejectsDuplicates) {
 }
 
 TEST(Rdd, PersistCachesAcrossActions) {
-  Context ctx(small_cluster());
+  // Exact compute counts: ambient cache corruption would drop cached
+  // partitions and recompute them, so opt out of the env fault profile.
+  Context::Options opts = small_cluster();
+  opts.fault = FaultProfile{};
+  Context ctx(opts);
   std::atomic<int> compute_calls{0};
   auto rdd = ctx.parallelize(iota(100), 4).map([&](const int& x) {
     compute_calls.fetch_add(1);
@@ -231,7 +235,11 @@ TEST(Rdd, UnpersietedRecomputesEachAction) {
 }
 
 TEST(Rdd, StageRecordsCarryWorkAndPassTag) {
-  Context ctx(small_cluster());
+  // Exact task/work counts: ambient failure and straggler injection would
+  // add retried attempts and speculative copies, so opt out of it.
+  Context::Options opts = small_cluster();
+  opts.fault = FaultProfile{};
+  Context ctx(opts);
   ctx.set_pass(3);
   ctx.parallelize(iota(100), 4).map([](const int& x) { return x; }).collect();
   ASSERT_FALSE(ctx.report().empty());
@@ -297,7 +305,14 @@ TEST(Rdd, PersistedUnionCachesAndRecovers) {
   // correct branch of the union.
   ASSERT_TRUE(ctx.fault_injector().fail_partition(u.id(), 5));
   EXPECT_EQ(u.collect(), before);
-  EXPECT_EQ(ctx.fault_injector().recomputations(), 1u);
+  // Ambient cache-corruption injection (the fault-matrix CI lanes) can rot
+  // further cached partitions and legitimately recompute more than the one
+  // dropped above; the exact count only holds without it.
+  if (FaultProfile::from_env().corrupt.cached_p > 0.0) {
+    EXPECT_GE(ctx.fault_injector().recomputations(), 1u);
+  } else {
+    EXPECT_EQ(ctx.fault_injector().recomputations(), 1u);
+  }
 }
 
 TEST(Rdd, TakeRecordsAStage) {

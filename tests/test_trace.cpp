@@ -223,7 +223,11 @@ TEST_F(TraceTest, ShuffleCounterMatchesSimReport) {
 }
 
 TEST_F(TraceTest, CacheCountersTrackPersistedPartitions) {
-  engine::Context ctx(small_cluster());
+  // Exact hit/miss counts: ambient cache corruption would turn hits back
+  // into misses, so opt out of the env fault profile.
+  engine::Context::Options opts = small_cluster();
+  opts.fault = engine::FaultProfile{};
+  engine::Context ctx(opts);
   std::vector<int> data(100);
   std::iota(data.begin(), data.end(), 0);
   auto rdd =
@@ -238,7 +242,11 @@ TEST_F(TraceTest, CacheCountersTrackPersistedPartitions) {
 }
 
 TEST_F(TraceTest, LineageRecomputeCounterMatchesFaultInjector) {
-  engine::Context ctx(small_cluster());
+  // The explicit fail_partition below must stay the only recompute cause,
+  // so opt out of ambient cache-corruption injection.
+  engine::Context::Options opts = small_cluster();
+  opts.fault = engine::FaultProfile{};
+  engine::Context ctx(opts);
   std::vector<int> data(100);
   std::iota(data.begin(), data.end(), 0);
   auto rdd =

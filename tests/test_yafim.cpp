@@ -191,7 +191,11 @@ TEST(Yafim, MineFromExplicitDfsPath) {
 
 TEST(Yafim, PartitionCountOptionRespected) {
   const auto db = random_db(10, 64, 0.5, 19);
-  engine::Context ctx(small_cluster());
+  // Exact task counts: ambient straggler injection would add speculative
+  // task copies to the stage record, so opt out of the env fault profile.
+  engine::Context::Options opts = small_cluster();
+  opts.fault = engine::FaultProfile{};
+  engine::Context ctx(opts);
   simfs::SimFS fs(ctx.cluster());
   YafimOptions opt;
   opt.min_support = 0.3;
