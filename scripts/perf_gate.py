@@ -35,10 +35,38 @@ import sys
 MODES = {1: "candidate_id", 2: "vertical_bitmap"}
 
 
-def series_by_dataset(doc, prefix):
+def fail(message):
+    """Gate misconfiguration: one clear line on stderr, exit 1, no traceback.
+
+    Distinct from a perf regression (which prints the failing checks): these
+    are setup errors -- a missing baseline file, a truncated JSON, a series
+    or mode key that is not there -- and the message names the offending
+    path/key so the fix is obvious from the CI log alone.
+    """
+    print("perf gate: error:", message, file=sys.stderr)
+    sys.exit(1)
+
+
+def load_json(path, role):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        fail(f"{role} file not found: {path}"
+             + (" (regenerate it with bench_ablation --json and check it in)"
+                if role == "baseline" else ""))
+    except json.JSONDecodeError as e:
+        fail(f"{role} file {path} is not valid JSON: {e}")
+
+
+def series_by_dataset(doc, prefix, path):
     """{dataset: {x: y}} for every series named '<prefix>:<dataset>'."""
+    series = doc.get("series")
+    if not isinstance(series, dict):
+        fail(f"{path}: no 'series' section (not a bench_ablation --json "
+             "output?)")
     out = {}
-    for name, points in doc.get("series", {}).items():
+    for name, points in series.items():
         if not name.startswith(prefix + ":"):
             continue
         dataset = name.split(":", 1)[1]
@@ -59,19 +87,18 @@ def main():
              "before the gate fails (absorbs runner speed variance)")
     args = parser.parse_args()
 
-    with open(args.current) as f:
-        current = json.load(f)
-    with open(args.baseline) as f:
-        baseline = json.load(f)
+    current = load_json(args.current, "current")
+    baseline = load_json(args.baseline, "baseline")
 
-    cur_sim = series_by_dataset(current, "countmode_sim_s")
-    cur_host = series_by_dataset(current, "countmode_host_s")
-    base_sim = series_by_dataset(baseline, "countmode_sim_s")
-    base_host = series_by_dataset(baseline, "countmode_host_s")
+    cur_sim = series_by_dataset(current, "countmode_sim_s", args.current)
+    cur_host = series_by_dataset(current, "countmode_host_s", args.current)
+    base_sim = series_by_dataset(baseline, "countmode_sim_s", args.baseline)
+    base_host = series_by_dataset(baseline, "countmode_host_s", args.baseline)
 
     if not cur_sim:
-        print("FAIL: no countmode_sim_s series in", args.current)
-        return 1
+        fail(f"{args.current}: no 'countmode_sim_s:*' series")
+    if not base_sim:
+        fail(f"{args.baseline}: no 'countmode_sim_s:*' series")
     missing = sorted(set(base_sim) - set(cur_sim))
     if missing:
         print("FAIL: datasets missing from current run:", ", ".join(missing))
@@ -86,6 +113,9 @@ def main():
 
     for dataset in sorted(cur_sim):
         sim, host = cur_sim[dataset], cur_host.get(dataset, {})
+        if 0 not in sim:
+            fail(f"{args.current}: series 'countmode_sim_s:{dataset}' has no "
+                 "x=0 (itemset_key) point to compare against")
         for x, mode in MODES.items():
             if x not in sim:
                 failures.append(f"{dataset}: mode {mode} missing from run")
@@ -101,12 +131,18 @@ def main():
         bsim, bhost = base_sim[dataset], base_host.get(dataset, {})
         for x in sorted(sim):
             mode = MODES.get(x, "itemset_key")
+            if x not in bsim:
+                fail(f"{args.baseline}: series 'countmode_sim_s:{dataset}' "
+                     f"has no x={x} ({mode}) point -- regenerate the "
+                     "baseline at the current mode set")
             # 2. deterministic sim seconds vs baseline, absolute.
             check(sim[x] <= bsim[x] * args.sim_tol,
                   f"{dataset} {mode}: counting sim {sim[x]:.2f}s vs "
                   f"baseline {bsim[x]:.2f}s (tol x{args.sim_tol})")
         for x, mode in MODES.items():
-            if not (x in host and x in bhost and host[x] > 0 and bhost[x] > 0):
+            if not (0 in host and 0 in bhost and x in host and x in bhost
+                    and host[0] > 0 and bhost[0] > 0 and host[x] > 0
+                    and bhost[x] > 0):
                 continue
             # 3. host speedup ratio vs baseline, banded.
             cur_ratio = host[0] / host[x]

@@ -34,12 +34,16 @@ Broadcast<T> Context::broadcast(T value, u64 bytes, const std::string& name) {
   // Lint against the configured per-executor memory before liveness
   // scaling: every live node must hold the full payload.
   if (linter_.enabled()) linter_.check_broadcast(bytes, name);
+  // The full payload becomes resident on every executor for the pass.
+  memory_budget_.note_broadcast(bytes);
   // Blacklisted executors receive no tasks, so the tree distribution skips
-  // them: charge only the live fraction of the cluster.
+  // them: charge only the live fraction of the cluster, rounded up --
+  // truncation would undercharge every broadcast whose bytes don't divide
+  // the node count (to zero, for payloads under `nodes` bytes).
   const FaultInjector& injector = fault_;
   const u32 nodes = injector.nodes();
   const u32 live = injector.live_nodes();
-  if (live < nodes) bytes = bytes * live / nodes;
+  if (live < nodes) bytes = (bytes * live + nodes - 1) / nodes;
   add_pending_broadcast(bytes);
   return Broadcast<T>(std::make_shared<const T>(std::move(value)));
 }

@@ -24,6 +24,7 @@ Context::Context(Options opts)
       model_(opts_.cluster),
       pool_(opts_.host_threads),
       fault_(opts_.cluster, opts_.fault),
+      memory_budget_(opts_.cluster, opts_.fault),
       default_partitions_(opts_.default_partitions
                               ? opts_.default_partitions
                               : 2 * opts_.cluster.total_cores()) {

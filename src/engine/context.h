@@ -14,6 +14,7 @@
 
 #include "engine/fault.h"
 #include "engine/lint.h"
+#include "engine/memory.h"
 #include "engine/thread_pool.h"
 #include "sim/cost_model.h"
 #include "sim/metrics.h"
@@ -79,6 +80,29 @@ class Context {
   FaultInjector& fault_injector() { return fault_; }
   ShareMode share_mode() const { return opts_.share_mode; }
 
+  /// Per-executor memory ledger (engine/memory.h). Miners consult it
+  /// before broadcasting; shuffle paths consult it before buffering.
+  MemoryBudget& memory_budget() { return memory_budget_; }
+  const MemoryBudget& memory_budget() const { return memory_budget_; }
+
+  /// Filesystem shuffle spill blocks go to when a stage's buffers exceed
+  /// the budget (simfs://spill/...). Null (the default) disables spilling
+  /// even under a finite shuffle-buffer budget -- the engine cannot spill
+  /// to a filesystem it was never handed. Not owned.
+  void set_spill_fs(simfs::SimFS* fs) { spill_fs_ = fs; }
+  simfs::SimFS* spill_fs() const { return spill_fs_; }
+  /// Whether shuffle stages should spill `buffered_bytes` right now.
+  bool should_spill(u64 buffered_bytes) const {
+    return spill_fs_ != nullptr &&
+           memory_budget_.shuffle_should_spill(buffered_bytes);
+  }
+  /// Compress spilled blocks with the util/bytes yz codec (priced by the
+  /// cost model; on by default).
+  void set_spill_compress(bool on) { spill_compress_ = on; }
+  bool spill_compress() const { return spill_compress_; }
+  /// Monotonic id making concurrent spill paths unique within the run.
+  u64 next_spill_id() { return spill_seq_.fetch_add(1); }
+
   /// Lineage plan linter; configured from Options::lint, disabled by
   /// default. RDD nodes register themselves here and actions/shuffles call
   /// before_execute(); tests assert on linter().diagnostics().
@@ -104,8 +128,13 @@ class Context {
   u32 next_rdd_id() { return next_rdd_id_.fetch_add(1); }
 
   /// Pass tag applied to stages recorded from now on (Apriori iteration
-  /// number; 0 = outside any pass).
-  void set_pass(u32 pass) { pass_ = pass; }
+  /// number; 0 = outside any pass). Pass boundaries are where the memory
+  /// ledger releases the previous pass's broadcasts and the
+  /// YAFIM_FAULT_MEM_* shrink fires.
+  void set_pass(u32 pass) {
+    pass_ = pass;
+    if (pass != 0) memory_budget_.begin_pass(pass);
+  }
   u32 pass() const { return pass_; }
 
   /// Stage bytes contributed by broadcast() calls since the last stage;
@@ -176,8 +205,12 @@ class Context {
   sim::CostModel model_;
   ThreadPool pool_;
   FaultInjector fault_;
+  MemoryBudget memory_budget_;
   PlanLinter linter_;
   u32 default_partitions_;
+  simfs::SimFS* spill_fs_ = nullptr;
+  bool spill_compress_ = true;
+  std::atomic<u64> spill_seq_{0};
   /// Stages launched so far; salts the deterministic injection draws.
   std::atomic<u64> stage_seq_{0};
 

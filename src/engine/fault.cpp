@@ -36,6 +36,12 @@ FaultProfile FaultProfile::from_env() {
       env_u64("YAFIM_FAULT_BLACKLIST_AFTER", p.blacklist_after));
   p.speculation_multiple =
       env_double("YAFIM_FAULT_SPECULATION_MULTIPLE", p.speculation_multiple);
+  p.mem_shrink_pass = static_cast<u32>(
+      env_u64("YAFIM_FAULT_MEM_SHRINK_PASS", p.mem_shrink_pass));
+  p.mem_shrink_factor =
+      env_double("YAFIM_FAULT_MEM_SHRINK_FACTOR", p.mem_shrink_factor);
+  p.mem_shrink_node = static_cast<u32>(
+      env_u64("YAFIM_FAULT_MEM_SHRINK_NODE", p.mem_shrink_node));
   p.corrupt = sim::CorruptionProfile::from_env();
   return p;
 }

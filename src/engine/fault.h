@@ -94,12 +94,24 @@ struct FaultProfile {
   /// and recomputed from lineage (the same recovery path as a lost one).
   sim::CorruptionProfile corrupt;
 
+  /// Memory-pressure injection (engine/memory.h): starting at pass
+  /// `mem_shrink_pass`, node `mem_shrink_node`'s effective memory budget is
+  /// multiplied by `mem_shrink_factor` for the rest of the run -- a
+  /// deterministic stand-in for a co-tenant ballooning mid-job. The
+  /// MemoryBudget ledger consults this at every pass boundary, so a run
+  /// that started with headroom degrades to partitioned broadcast/spill at
+  /// a seeded, reproducible point. 0 disables the axis.
+  u32 mem_shrink_pass = 0;
+  double mem_shrink_factor = 0.5;
+  u32 mem_shrink_node = 0;
+
   bool enabled() const { return task_failure_p > 0.0 || straggler_p > 0.0; }
 
   /// Profile from YAFIM_FAULT_* environment variables (all optional:
   /// SEED, TASK_FAILURE_P, STRAGGLER_P, STRAGGLER_SLOWDOWN,
   /// MAX_TASK_ATTEMPTS, MAX_STAGE_ATTEMPTS, BLACKLIST_AFTER,
-  /// SPECULATION_MULTIPLE). Unset variables keep the defaults above, so an
+  /// SPECULATION_MULTIPLE, MEM_SHRINK_PASS, MEM_SHRINK_FACTOR,
+  /// MEM_SHRINK_NODE). Unset variables keep the defaults above, so an
   /// env-free process gets a disabled profile. This is how the CI
   /// fault-matrix runs the whole test suite under injection.
   static FaultProfile from_env();

@@ -135,6 +135,24 @@ void PlanLinter::check_broadcast(u64 bytes, const std::string& name) {
   diagnostics_.push_back(std::move(diag));
 }
 
+void PlanLinter::note_broadcast_fallback(u64 bytes, const std::string& name) {
+  if (!enabled_) return;
+  util::MutexLock lock(mutex_);
+  std::ostringstream os;
+  os << "broadcast payload of " << human_bytes(bytes)
+     << " exceeds executor memory of " << human_bytes(executor_memory_bytes_)
+     << "; partitioned candidate broadcast engaged -- the tree is sharded "
+        "across executors and transactions are re-partitioned to it";
+  LintDiagnostic diag;
+  diag.rule = "YL002";
+  diag.severity = LintSeverity::kNote;
+  diag.node = 0;
+  diag.node_name = name;
+  diag.message = os.str();
+  obs::count(rule_counter("YL002"));
+  diagnostics_.push_back(std::move(diag));
+}
+
 void PlanLinter::finalize() {
   if (!enabled_) return;
   util::MutexLock lock(mutex_);

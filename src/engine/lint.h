@@ -111,6 +111,12 @@ class PlanLinter {
   void before_execute(u32 root, Consume kind, const std::string& label);
   /// Evaluate YL002 for a broadcast of `bytes` named `name`.
   void check_broadcast(u64 bytes, const std::string& name);
+  /// YL002's graceful-degradation twin: the payload did not fit, but the
+  /// engine engaged the partitioned candidate store instead of shipping it
+  /// whole. Emits YL002 as a *note* -- the plan shape is still worth
+  /// surfacing, but workers never hold the oversized value, so it is no
+  /// longer an error.
+  void note_broadcast_fallback(u64 bytes, const std::string& name);
   /// End-of-plan rules (YL003 dead cache). Call after the last action;
   /// idempotent per node.
   void finalize();

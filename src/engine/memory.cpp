@@ -1,0 +1,100 @@
+#include "engine/memory.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace yafim::engine {
+
+MemoryBudget::MemoryBudget(const sim::ClusterConfig& cluster,
+                           const FaultProfile& fault)
+    : nodes_(std::max(1u, cluster.nodes)),
+      base_budget_(cluster.executor_memory_bytes),
+      shuffle_buffer_bytes_(cluster.shuffle_buffer_bytes),
+      mem_shrink_pass_(fault.mem_shrink_pass),
+      mem_shrink_factor_(fault.mem_shrink_factor),
+      mem_shrink_node_(fault.mem_shrink_node % nodes_) {}
+
+u64 MemoryBudget::node_budget(u32 node) const {
+  if (base_budget_ == 0) return 0;
+  if (shrunk_.load(std::memory_order_relaxed) && node == mem_shrink_node_) {
+    const double f = std::clamp(mem_shrink_factor_, 0.0, 1.0);
+    return static_cast<u64>(static_cast<double>(base_budget_) * f);
+  }
+  return base_budget_;
+}
+
+u64 MemoryBudget::min_node_budget() const {
+  if (base_budget_ == 0) return 0;
+  u64 min_budget = base_budget_;
+  for (u32 n = 0; n < nodes_; ++n) {
+    min_budget = std::min(min_budget, node_budget(n));
+  }
+  return min_budget;
+}
+
+u64 MemoryBudget::used_on(u32 node) const {
+  (void)node;  // spread components are uniform; broadcast is replicated
+  const u64 spread =
+      (cached_bytes_.load(std::memory_order_relaxed) +
+       shuffle_buffered_.load(std::memory_order_relaxed)) /
+      nodes_;
+  return broadcast_resident_.load(std::memory_order_relaxed) + spread;
+}
+
+bool MemoryBudget::broadcast_fits(u64 bytes) const {
+  if (unbounded()) return true;
+  // The replicated payload must fit on the tightest node next to what the
+  // ledger already places there.
+  u64 worst_headroom = ~u64{0};
+  for (u32 n = 0; n < nodes_; ++n) {
+    const u64 budget = node_budget(n);
+    const u64 used = used_on(n);
+    worst_headroom = std::min(worst_headroom, budget > used ? budget - used : 0);
+  }
+  return bytes <= worst_headroom;
+}
+
+bool MemoryBudget::shuffle_should_spill(u64 buffered_bytes) const {
+  if (shuffle_buffer_bytes_ == 0) return false;
+  return buffered_bytes > shuffle_buffer_bytes_ * nodes_;
+}
+
+void MemoryBudget::begin_pass(u32 pass) {
+  // Broadcast payloads live for one pass: the miners drop their handles at
+  // the pass boundary, so the replicated component resets here.
+  broadcast_resident_.store(0, std::memory_order_relaxed);
+  if (mem_shrink_pass_ != 0 && pass >= mem_shrink_pass_ &&
+      !shrunk_.exchange(true, std::memory_order_relaxed)) {
+    shrinks_applied_.fetch_add(1, std::memory_order_relaxed);
+    obs::count(obs::CounterId::kMemShrinksApplied);
+    obs::instant("fault", "mem_shrink",
+                 {{"pass", pass},
+                  {"node", mem_shrink_node_},
+                  {"budget", node_budget(mem_shrink_node_)}});
+  }
+}
+
+void MemoryBudget::note_fallback(u64 bytes) {
+  fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  obs::count(obs::CounterId::kBroadcastFallbacks);
+  obs::instant("memory", "broadcast_fallback", {{"bytes", bytes}});
+}
+
+void MemoryBudget::note_spill_write(u64 raw_bytes, u64 stored_bytes) {
+  spill_blocks_written_.fetch_add(1, std::memory_order_relaxed);
+  spill_bytes_raw_.fetch_add(raw_bytes, std::memory_order_relaxed);
+  spill_bytes_stored_.fetch_add(stored_bytes, std::memory_order_relaxed);
+  obs::count(obs::CounterId::kSpillBlocksWritten);
+  obs::count(obs::CounterId::kSpillBytesRaw, raw_bytes);
+  obs::count(obs::CounterId::kSpillBytesStored, stored_bytes);
+}
+
+void MemoryBudget::note_spill_read(u64 raw_bytes) {
+  spill_blocks_read_.fetch_add(1, std::memory_order_relaxed);
+  obs::count(obs::CounterId::kSpillBlocksRead);
+  (void)raw_bytes;
+}
+
+}  // namespace yafim::engine

@@ -16,9 +16,11 @@
 #pragma once
 
 #include <algorithm>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <unordered_map>
@@ -33,6 +35,7 @@
 #include "engine/work.h"
 #include "obs/metrics.h"
 #include "simfs/simfs.h"
+#include "util/bytes.h"
 #include "util/rng.h"
 #include "util/thread_annotations.h"
 
@@ -447,6 +450,214 @@ class ZipWithIndexNode final : public Node<std::pair<T, u64>> {
   std::vector<u64> offsets_;
 };
 
+// --- shuffle spill (memory-pressure degradation) -----------------------
+//
+// When a shuffle stage's map-side buffers exceed the per-node budget
+// (ClusterConfig::shuffle_buffer_bytes, via Context::should_spill), the
+// stage spills its blocks to the context's spill filesystem: each map
+// task's output is genuinely serialized, optionally compressed with the
+// util/bytes yz codec, written to checksummed simfs (so corruption
+// injection covers spilled data like any other block), and read back
+// before the reduce stage. The spill and read-back are priced as DFS I/O
+// plus codec CPU through the cost model.
+//
+// Only the element shapes the engine actually spills need a wire format:
+// arithmetic scalars, vectors of spillable elements, and pairs of
+// spillable halves. Shuffles over any other type keep the in-memory path
+// (`if constexpr (is_spillable_v<T>)` at the call sites).
+
+template <typename T>
+struct SpillFormat : std::bool_constant<std::is_arithmetic_v<T>> {};
+template <typename E>
+struct SpillFormat<std::vector<E>> : SpillFormat<E> {};
+template <typename A, typename B>
+struct SpillFormat<std::pair<A, B>>
+    : std::bool_constant<SpillFormat<A>::value && SpillFormat<B>::value> {};
+template <typename T>
+inline constexpr bool is_spillable_v = SpillFormat<T>::value;
+
+template <typename T>
+  requires std::is_arithmetic_v<T>
+void spill_put(std::vector<u8>& out, const T& v);
+template <typename E>
+void spill_put(std::vector<u8>& out, const std::vector<E>& v);
+template <typename A, typename B>
+void spill_put(std::vector<u8>& out, const std::pair<A, B>& v);
+
+template <typename T>
+  requires std::is_arithmetic_v<T>
+void spill_put(std::vector<u8>& out, const T& v) {
+  const u8* b = reinterpret_cast<const u8*>(&v);
+  out.insert(out.end(), b, b + sizeof(T));
+}
+
+template <typename E>
+void spill_put(std::vector<u8>& out, const std::vector<E>& v) {
+  spill_put(out, static_cast<u64>(v.size()));
+  if constexpr (std::is_arithmetic_v<E>) {
+    const u8* b = reinterpret_cast<const u8*>(v.data());
+    out.insert(out.end(), b, b + v.size() * sizeof(E));
+  } else {
+    for (const E& e : v) spill_put(out, e);
+  }
+}
+
+template <typename A, typename B>
+void spill_put(std::vector<u8>& out, const std::pair<A, B>& v) {
+  spill_put(out, v.first);
+  spill_put(out, v.second);
+}
+
+template <typename T>
+  requires std::is_arithmetic_v<T>
+void spill_get(std::span<const u8> in, size_t& pos, T& v);
+template <typename E>
+void spill_get(std::span<const u8> in, size_t& pos, std::vector<E>& v);
+template <typename A, typename B>
+void spill_get(std::span<const u8> in, size_t& pos, std::pair<A, B>& v);
+
+template <typename T>
+  requires std::is_arithmetic_v<T>
+void spill_get(std::span<const u8> in, size_t& pos, T& v) {
+  YAFIM_CHECK(pos + sizeof(T) <= in.size(), "spill: truncated block");
+  std::memcpy(&v, in.data() + pos, sizeof(T));
+  pos += sizeof(T);
+}
+
+template <typename E>
+void spill_get(std::span<const u8> in, size_t& pos, std::vector<E>& v) {
+  u64 n = 0;
+  spill_get(in, pos, n);
+  v.clear();
+  if constexpr (std::is_arithmetic_v<E>) {
+    YAFIM_CHECK(pos + n * sizeof(E) <= in.size(), "spill: truncated block");
+    v.resize(static_cast<size_t>(n));
+    std::memcpy(v.data(), in.data() + pos, n * sizeof(E));
+    pos += n * sizeof(E);
+  } else {
+    v.resize(static_cast<size_t>(n));
+    for (u64 i = 0; i < n; ++i) spill_get(in, pos, v[i]);
+  }
+}
+
+template <typename A, typename B>
+void spill_get(std::span<const u8> in, size_t& pos, std::pair<A, B>& v) {
+  spill_get(in, pos, v.first);
+  spill_get(in, pos, v.second);
+}
+
+/// Per-shuffle spill controller. `Block` is one map task's buffered output
+/// (a partial array for sum_arrays, the per-reduce bucket vector for
+/// keyed shuffles). Lifecycle, driver thread only:
+///   note_buffered(bytes)   -- admit the stage's buffers into the ledger
+///   maybe_spill(blocks)    -- serialize + write + free if over budget
+///   restore(blocks)        -- read back + deserialize before the reduce
+/// The destructor releases the ledger bytes and removes the spill files.
+template <typename Block>
+class ShuffleSpill {
+ public:
+  ShuffleSpill(Context& ctx, std::string label)
+      : ctx_(ctx), label_(std::move(label)) {}
+
+  ShuffleSpill(const ShuffleSpill&) = delete;
+  ShuffleSpill& operator=(const ShuffleSpill&) = delete;
+
+  ~ShuffleSpill() {
+    if (buffered_ && !spilled_) {
+      ctx_.memory_budget().release_shuffle_buffered(buffered_);
+    }
+    if (spilled_) {
+      for (const std::string& path : paths_) ctx_.spill_fs()->remove(path);
+    }
+  }
+
+  void note_buffered(u64 bytes) {
+    buffered_ = bytes;
+    if (bytes) ctx_.memory_budget().note_shuffle_buffered(bytes);
+  }
+
+  bool spilled() const { return spilled_; }
+
+  void maybe_spill(std::vector<Block>& blocks) {
+    if (!ctx_.should_spill(buffered_)) return;
+    simfs::SimFS& fs = *ctx_.spill_fs();
+    compress_ = ctx_.spill_compress();
+    const std::string prefix =
+        "spill/" + label_ + "-" + std::to_string(ctx_.next_spill_id()) + "/";
+    u64 raw_total = 0;
+    u64 stored_total = 0;
+    paths_.reserve(blocks.size());
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      std::vector<u8> bytes;
+      spill_put(bytes, blocks[i]);
+      const u64 raw = bytes.size();
+      if (compress_) bytes = yz_compress(bytes);
+      const u64 stored = bytes.size();
+      const std::string path = prefix + "block-" + std::to_string(i);
+      fs.write(path, std::move(bytes));
+      ctx_.memory_budget().note_spill_write(raw, stored);
+      raw_total += raw;
+      stored_total += stored;
+      paths_.push_back(path);
+      Block().swap(blocks[i]);  // the buffer is on disk now; free it
+    }
+    record_io(label_ + ":spill", /*write=*/true, raw_total, stored_total);
+    ctx_.memory_budget().release_shuffle_buffered(buffered_);
+    raw_total_ = raw_total;
+    stored_total_ = stored_total;
+    spilled_ = true;
+  }
+
+  void restore(std::vector<Block>& blocks) {
+    if (!spilled_) return;
+    simfs::SimFS& fs = *ctx_.spill_fs();
+    YAFIM_CHECK(paths_.size() == blocks.size(), "spill: block count changed");
+    for (size_t i = 0; i < paths_.size(); ++i) {
+      std::vector<u8> bytes = fs.read(paths_[i]);
+      if (compress_) bytes = yz_decompress(bytes);
+      size_t pos = 0;
+      spill_get(std::span<const u8>(bytes), pos, blocks[i]);
+      YAFIM_CHECK(pos == bytes.size(), "spill: trailing bytes in block");
+      ctx_.memory_budget().note_spill_read(bytes.size());
+    }
+    record_io(label_ + ":spill-read", /*write=*/false, raw_total_,
+              stored_total_);
+  }
+
+ private:
+  /// Price one side of the spill round trip: DFS I/O of the stored bytes
+  /// plus the codec CPU over the raw bytes (cluster spill_*_work_per_kb).
+  void record_io(const std::string& stage_label, bool write, u64 raw_bytes,
+                 u64 stored_bytes) {
+    const sim::ClusterConfig& cluster = ctx_.cluster();
+    sim::StageRecord rec;
+    rec.label = stage_label;
+    rec.kind = sim::StageKind::kSparkStage;
+    rec.pass = ctx_.pass();
+    if (write) {
+      rec.dfs_write_bytes = stored_bytes;
+    } else {
+      rec.dfs_read_bytes = stored_bytes;
+    }
+    const u64 work_per_kb = compress_ ? (write ? cluster.spill_compress_work_per_kb
+                                               : cluster.spill_decompress_work_per_kb)
+                                      : 0;
+    const u32 tasks = static_cast<u32>(std::max<size_t>(
+        1, std::min<size_t>(paths_.size(), ctx_.default_partitions())));
+    rec.tasks = sim::split_work((raw_bytes / 1024) * work_per_kb, tasks);
+    ctx_.record(std::move(rec));
+  }
+
+  Context& ctx_;
+  std::string label_;
+  u64 buffered_ = 0;
+  bool spilled_ = false;
+  bool compress_ = false;
+  u64 raw_total_ = 0;
+  u64 stored_total_ = 0;
+  std::vector<std::string> paths_;
+};
+
 }  // namespace detail
 
 /// Value-semantic handle to a lineage node. Cheap to copy.
@@ -711,6 +922,16 @@ class RDD {
           shuffle_bytes.fetch_add(bytes, std::memory_order_relaxed);
         },
         shuffle_bytes);
+
+    // Spillable key/value shapes degrade to simfs when the buffered bytes
+    // exceed the shuffle budget; other shapes keep the in-memory path.
+    std::optional<detail::ShuffleSpill<std::vector<std::vector<T>>>> spill;
+    if constexpr (detail::is_spillable_v<T>) {
+      spill.emplace(ctx, label);
+      spill->note_buffered(shuffle_bytes.load(std::memory_order_relaxed));
+      spill->maybe_spill(map_out);
+      spill->restore(map_out);
+    }
 
     std::vector<std::vector<Out>> out(reduce_tasks);
     ctx.run_stage(label + ":reduce", reduce_tasks, [&](u32 r) {
@@ -1085,6 +1306,13 @@ class RDD {
     }
     obs::count(obs::CounterId::kArrayReduceBytes,
                shuffle_bytes.load(std::memory_order_relaxed));
+
+    // The per-map partials are the stage's in-flight shuffle buffers; over
+    // budget they round-trip through (compressed) simfs before the reduce.
+    detail::ShuffleSpill<std::vector<E>> spill(ctx, label);
+    spill.note_buffered(shuffle_bytes.load(std::memory_order_relaxed));
+    spill.maybe_spill(partials);
+    spill.restore(partials);
 
     const u32 reduce_tasks = static_cast<u32>(std::max<size_t>(
         1, std::min<size_t>(ctx.default_partitions(), width)));

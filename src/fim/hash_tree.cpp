@@ -140,6 +140,28 @@ std::vector<Itemset> HashTree::candidates() const {
   return out;
 }
 
+std::vector<TreeShard> shard_hash_tree(const HashTree& tree, u32 nshards,
+                                       u32 branching, u32 leaf_capacity) {
+  YAFIM_CHECK(nshards >= 1, "shard count must be >= 1");
+  std::vector<std::vector<Itemset>> parts(nshards);
+  std::vector<std::vector<u64>> ids(nshards);
+  for (u32 ci = 0; ci < tree.size(); ++ci) {
+    engine::work::add(1);
+    const u32 s =
+        nshards == 1 ? 0 : candidate_shard(tree.candidate_items(ci)[0], nshards);
+    parts[s].push_back(tree.candidate(ci));
+    ids[s].push_back(tree.id_offset() + ci);
+  }
+  std::vector<TreeShard> out;
+  out.reserve(nshards);
+  for (u32 s = 0; s < nshards; ++s) {
+    out.push_back(TreeShard{HashTree(std::move(parts[s]), branching,
+                                     leaf_capacity),
+                            std::move(ids[s])});
+  }
+  return out;
+}
+
 u64 HashTree::serialized_bytes() const {
   // Matches the historical per-vector accounting byte for byte: 16-byte
   // header, (8 + 4k) per candidate itemset, 8 per node plus 4 per bucket or

@@ -52,6 +52,30 @@ inline const char* count_mode_name(CountMode mode) {
   return "unknown";
 }
 
+/// How the per-pass candidate structure reaches the workers (shared by
+/// both miners; see DESIGN "Memory model & graceful degradation").
+enum class BroadcastMode {
+  /// Broadcast while the candidate trees fit the executor-memory budget
+  /// (engine::MemoryBudget); degrade to the partitioned candidate store
+  /// when they would not.
+  kAuto,
+  /// Always broadcast the full trees. An over-budget payload keeps the
+  /// linter's YL002 *error* semantics -- the pre-degradation behavior, and
+  /// the CI beyond-memory lane's negative control.
+  kFull,
+  /// Always use the partitioned candidate store, budget or not.
+  kPartitioned,
+};
+
+inline const char* broadcast_mode_name(BroadcastMode mode) {
+  switch (mode) {
+    case BroadcastMode::kAuto: return "auto";
+    case BroadcastMode::kFull: return "full";
+    case BroadcastMode::kPartitioned: return "partitioned";
+  }
+  return "unknown";
+}
+
 /// Deterministic hash for dense candidate ids (std::hash<u32> is
 /// implementation-defined; shuffle partitioning must not depend on it).
 struct DenseIdHash {
@@ -238,5 +262,38 @@ class HashTree {
   u32 leaf_capacity_ = 16;
   u32 num_leaves_ = 0;
 };
+
+// --- partitioned candidate store (broadcast fallback) --------------------
+//
+// When a pass's candidate trees would not fit next to what the memory
+// ledger already places on the tightest executor, the miners shard the
+// candidates over the cluster instead of broadcasting the whole structure:
+// each shard holds a hash tree over a slice of the candidates, and
+// transactions are re-partitioned to the shards they can reach.
+
+/// Deterministic shard of a candidate, keyed on its first (smallest) item.
+/// Any transaction containing the candidate also contains that item among
+/// its own viable prefix positions, so routing a transaction to the shards
+/// of those items reaches every candidate it could support exactly once.
+inline u32 candidate_shard(Item first_item, u32 nshards) {
+  return static_cast<u32>(mix64(u64{first_item} + 0x9e3779b97f4a7c15ULL) %
+                          nshards);
+}
+
+/// One shard of the store: a hash tree over the shard's slice of one
+/// level's candidates, plus the map from shard-local candidate index back
+/// to the source tree's batch-global dense ids. Shard probes increment the
+/// same counting cells a full-tree probe would -- which is what keeps the
+/// fallback path bit-identical to the broadcast path.
+struct TreeShard {
+  HashTree tree;
+  std::vector<u64> global_ids;
+};
+
+/// Split `tree`'s candidates over `nshards` by candidate_shard() of their
+/// first item. Every candidate lands in exactly one shard; shards with no
+/// candidates get an empty tree (size() == 0, probes return immediately).
+std::vector<TreeShard> shard_hash_tree(const HashTree& tree, u32 nshards,
+                                       u32 branching, u32 leaf_capacity);
 
 }  // namespace yafim::fim

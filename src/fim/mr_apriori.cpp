@@ -46,6 +46,9 @@ MiningRun mr_apriori_mine(engine::Context& ctx, simfs::SimFS& fs,
                           const std::string& input_path,
                           const MrAprioriOptions& options) {
   const size_t first_stage = ctx.report().stages().size();
+  // MapReduce shuffles spill through the same path as Spark stages when
+  // their buffers exceed the shuffle-buffer budget (mapreduce/job.h).
+  ctx.set_spill_fs(&fs);
   mr::JobRunner runner(ctx, fs);
 
   // Driver-side setup knowledge: |D| for the absolute threshold. (In
@@ -71,12 +74,14 @@ MiningRun mr_apriori_mine(engine::Context& ctx, simfs::SimFS& fs,
   u64 fingerprint = 0;
   std::optional<CheckpointState> restored;
   if (options.checkpoint) {
-    // count_mode folded in for the same reason as yafim.cpp: the modes
-    // price the k >= 2 shuffles differently, so snapshots must not mix.
+    // count_mode and broadcast_mode folded in for the same reason as
+    // yafim.cpp: the modes price the k >= 2 jobs differently, so
+    // snapshots must not mix.
     fingerprint = checkpoint_fingerprint(
         "mrapriori", xxh64(raw.data(), raw.size()), min_count,
         options.max_levels +
-            (u64{static_cast<u32>(options.count_mode)} << 32));
+            (u64{static_cast<u32>(options.count_mode)} << 32) +
+            (u64{static_cast<u32>(options.broadcast_mode)} << 36));
     restored = load_latest_snapshot(*options.checkpoint, fingerprint);
   }
   u64 prev_output_bytes = 0;
@@ -179,51 +184,56 @@ MiningRun mr_apriori_mine(engine::Context& ctx, simfs::SimFS& fs,
     const std::string job_name = "mrapriori:job" + std::to_string(k);
     const std::string out_path = options.work_dir + "/L" + std::to_string(k);
     const bool use_hash_tree = options.use_hash_tree;
-    Stopwatch count_clock;
-    mr::JobResult<CountPair> result;
-    if (options.count_mode == CountMode::kVerticalBitmap) {
+
+    // One counting job over `t`'s candidates -- the full tree, or one
+    // shard of it under the partitioned fallback; `t` travels to the
+    // mappers via the distributed cache either way.
+    auto run_level_job = [&](std::shared_ptr<const HashTree> t,
+                             const std::string& name,
+                             const std::string& out) {
+      if (options.count_mode == CountMode::kVerticalBitmap) {
       // Vertical: each map split builds a bitmap index over its
       // transactions (MapReduce has no cross-job cache, so the index is
       // rebuilt per level -- the honest cost of the substrate) and emits
       // one (candidate_id, count) pair per candidate with nonzero support.
       IdSpec job;
-      job.name = job_name;
+      job.name = name;
       job.decode_input = decode_transactions;
-      job.map_partition_fn = [tree](std::span<const Transaction> split,
-                                    mr::Emitter<u32, u64>& emit) {
+      job.map_partition_fn = [t](std::span<const Transaction> split,
+                                 mr::Emitter<u32, u64>& emit) {
         const VerticalBitmapIndex index(split);
-        std::vector<u64> cells(tree->size(), 0);
-        index.count_candidates(*tree, cells.data());
+        std::vector<u64> cells(t->size(), 0);
+        index.count_candidates(*t, cells.data());
         for (u32 ci = 0; ci < cells.size(); ++ci) {
           if (cells[ci] != 0) emit.emit(ci, cells[ci]);
         }
       };
       job.combine_fn = [](const u64& a, const u64& b) { return a + b; };
-      job.reduce_fn = [tree, min_count](const u32& ci, std::vector<u64>& values)
+      job.reduce_fn = [t, min_count](const u32& ci, std::vector<u64>& values)
           -> std::optional<CountPair> {
         u64 sum = 0;
         for (u64 v : values) sum += v;
         if (sum < min_count) return std::nullopt;
-        return CountPair(tree->candidate(ci), sum);
+        return CountPair(t->candidate(ci), sum);
       };
       job.encode_output = encode_counts;
       job.num_mappers = options.num_mappers;
       job.num_reducers = options.num_reducers;
-      job.distributed_cache_bytes = tree->serialized_bytes();
-      result = runner.run(job, input_path, out_path);
+      job.distributed_cache_bytes = t->serialized_bytes();
+      return runner.run(job, input_path, out);
     } else if (options.count_mode == CountMode::kItemsetKey) {
       // Paper-faithful: mappers emit (itemset, 1) for every hit.
       Spec job;
-      job.name = job_name;
+      job.name = name;
       job.decode_input = decode_transactions;
-      job.map_fn = [tree, use_hash_tree](const Transaction& t,
-                                         mr::Emitter<Itemset, u64>& emit) {
-        auto on_hit = [&](u32 ci) { emit.emit(tree->candidate(ci), 1); };
+      job.map_fn = [t, use_hash_tree](const Transaction& txn,
+                                      mr::Emitter<Itemset, u64>& emit) {
+        auto on_hit = [&](u32 ci) { emit.emit(t->candidate(ci), 1); };
         if (use_hash_tree) {
           static thread_local HashTree::Probe probe;
-          tree->for_each_contained(t, probe, on_hit);
+          t->for_each_contained(txn, probe, on_hit);
         } else {
-          tree->for_each_contained_linear(t, on_hit);
+          t->for_each_contained_linear(txn, on_hit);
         }
       };
       job.combine_fn = [](const u64& a, const u64& b) { return a + b; };
@@ -232,38 +242,106 @@ MiningRun mr_apriori_mine(engine::Context& ctx, simfs::SimFS& fs,
       job.num_mappers = options.num_mappers;
       job.num_reducers = options.num_reducers;
       // Candidate hash tree travels to every node via the distributed cache.
-      job.distributed_cache_bytes = tree->serialized_bytes();
-      result = runner.run(job, input_path, out_path);
+      job.distributed_cache_bytes = t->serialized_bytes();
+      return runner.run(job, input_path, out);
     } else {
       // Dense: mappers emit (candidate_id, 1); reducers sum, threshold,
       // and map survivors back to itemsets through their copy of the tree
       // (already localized via the distributed cache).
       IdSpec job;
-      job.name = job_name;
+      job.name = name;
       job.decode_input = decode_transactions;
-      job.map_fn = [tree, use_hash_tree](const Transaction& t,
-                                         mr::Emitter<u32, u64>& emit) {
+      job.map_fn = [t, use_hash_tree](const Transaction& txn,
+                                      mr::Emitter<u32, u64>& emit) {
         auto on_hit = [&](u32 ci) { emit.emit(ci, 1); };
         if (use_hash_tree) {
           static thread_local HashTree::Probe probe;
-          tree->for_each_contained(t, probe, on_hit);
+          t->for_each_contained(txn, probe, on_hit);
         } else {
-          tree->for_each_contained_linear(t, on_hit);
+          t->for_each_contained_linear(txn, on_hit);
         }
       };
       job.combine_fn = [](const u64& a, const u64& b) { return a + b; };
-      job.reduce_fn = [tree, min_count](const u32& ci, std::vector<u64>& values)
+      job.reduce_fn = [t, min_count](const u32& ci, std::vector<u64>& values)
           -> std::optional<CountPair> {
         u64 sum = 0;
         for (u64 v : values) sum += v;
         if (sum < min_count) return std::nullopt;
-        return CountPair(tree->candidate(ci), sum);
+        return CountPair(t->candidate(ci), sum);
       };
       job.encode_output = encode_counts;
       job.num_mappers = options.num_mappers;
       job.num_reducers = options.num_reducers;
-      job.distributed_cache_bytes = tree->serialized_bytes();
-      result = runner.run(job, input_path, out_path);
+      job.distributed_cache_bytes = t->serialized_bytes();
+      return runner.run(job, input_path, out);
+      }
+    };
+
+    // Broadcast ceiling (engine/memory.h): when the tree would not fit
+    // next to what the ledger places on the tightest executor, count this
+    // level as one sub-job per candidate shard, each localizing only its
+    // shard's tree -- at the honest MapReduce price of re-reading the
+    // input per sub-job.
+    const u64 tree_bytes = tree->serialized_bytes();
+    const bool partitioned =
+        options.broadcast_mode == BroadcastMode::kPartitioned ||
+        (options.broadcast_mode == BroadcastMode::kAuto &&
+         !ctx.memory_budget().broadcast_fits(tree_bytes));
+    Stopwatch count_clock;
+    mr::JobResult<CountPair> result;
+    if (partitioned) {
+      ctx.linter().note_broadcast_fallback(tree_bytes,
+                                           job_name + ":distributed_cache");
+      ctx.memory_budget().note_fallback(tree_bytes);
+      // Grow the shard count until the largest shard fits the tightest
+      // node (sharding keys on the first item, so a perfectly even split
+      // is not guaranteed; the cap keeps a degenerate distribution from
+      // looping forever -- an oversized shard then lints like any other
+      // oversized localization).
+      const u64 budget = ctx.memory_budget().min_node_budget();
+      engine::work::Scope shard_scope;
+      u32 nshards = std::max<u32>(
+          2, budget != 0 ? static_cast<u32>(std::min<u64>(
+                               1024, 2 * ceil_div(tree_bytes, budget)))
+                         : std::max(1u, ctx.cluster().nodes));
+      std::vector<TreeShard> shards;
+      for (;;) {
+        shards = shard_hash_tree(*tree, nshards, options.branching,
+                                 options.leaf_capacity);
+        if (budget == 0 || nshards >= 1024) break;
+        u64 worst = 0;
+        for (const TreeShard& s : shards) {
+          worst = std::max(worst, s.tree.serialized_bytes());
+        }
+        if (worst <= budget) break;
+        nshards = std::min<u32>(1024, nshards * 2);
+      }
+      {
+        sim::StageRecord shard_stage;
+        shard_stage.label = job_name + ":shard-candidates";
+        shard_stage.kind = sim::StageKind::kOverhead;
+        shard_stage.pass = k;
+        shard_stage.driver_work = shard_scope.measured();
+        ctx.record(std::move(shard_stage));
+      }
+      for (u32 s = 0; s < static_cast<u32>(shards.size()); ++s) {
+        if (shards[s].tree.size() == 0) continue;
+        auto shard_tree =
+            std::make_shared<const HashTree>(std::move(shards[s].tree));
+        auto r = run_level_job(shard_tree,
+                               job_name + ":shard" + std::to_string(s),
+                               out_path + "-shard" + std::to_string(s));
+        result.map_tasks = r.map_tasks;
+        result.reduce_tasks = r.reduce_tasks;
+        result.input_bytes += r.input_bytes;
+        result.shuffle_bytes += r.shuffle_bytes;
+        result.output_bytes += r.output_bytes;
+        result.output.insert(result.output.end(),
+                             std::make_move_iterator(r.output.begin()),
+                             std::make_move_iterator(r.output.end()));
+      }
+    } else {
+      result = run_level_job(tree, job_name, out_path);
     }
     run.count_host_seconds += count_clock.seconds();
     frequent.clear();

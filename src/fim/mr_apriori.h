@@ -39,6 +39,16 @@ struct MrAprioriOptions {
   /// cross-job cache, so it is rebuilt each level) and emits nonzero
   /// candidate-id counts from an in-mapper AND+popcount pass.
   CountMode count_mode = CountMode::kCandidateId;
+  /// How the candidate tree reaches the mappers when it outgrows the
+  /// executor-memory budget (matches YafimOptions): kAuto localizes the
+  /// whole tree through the distributed cache while it fits and falls back
+  /// to candidate-set partitioning when it would not -- the level is
+  /// counted as one sub-job per candidate shard, each shipping only its
+  /// shard's tree (the classic buffer-management answer to an oversized
+  /// Ck, at the price of re-reading the input per sub-job); kFull always
+  /// ships the whole tree (over budget keeps YL002's error semantics);
+  /// kPartitioned always shards. All modes yield identical itemsets.
+  BroadcastMode broadcast_mode = BroadcastMode::kAuto;
   /// Scratch directory on the DFS for per-iteration outputs.
   std::string work_dir = "hdfs://mrapriori";
   /// Stop after this many levels (0 = run to completion). BigFIM uses this

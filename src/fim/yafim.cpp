@@ -22,6 +22,12 @@ namespace {
 
 using CountPair = std::pair<Itemset, u64>;
 
+/// Identity hash for shard ids, so shard s deterministically lands in
+/// reduce partition s of the routing shuffle (shard -> executor placement).
+struct ShardIdHash {
+  size_t operator()(u32 shard) const { return shard; }
+};
+
 /// Fill PassStats::sim_seconds (and the setup time) by pricing the stages
 /// this run appended to the context's report.
 void price_passes(engine::Context& ctx, size_t first_stage, MiningRun& run) {
@@ -44,6 +50,9 @@ MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
                      const std::string& input_path,
                      const YafimOptions& options) {
   const size_t first_stage = ctx.report().stages().size();
+  // Shuffle stages spill to the same filesystem the dataset lives on when
+  // their buffers exceed the shuffle-buffer budget (engine/rdd.h).
+  ctx.set_spill_fs(&fs);
 
   std::optional<obs::Span> mine_span;
   if (obs::enabled()) mine_span.emplace("yafim", "yafim:mine");
@@ -87,12 +96,14 @@ MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
   u64 fingerprint = 0;
   std::optional<CheckpointState> restored;
   if (options.checkpoint) {
-    // count_mode is folded in because the two modes price stages
-    // differently: resuming a faithful run's snapshot into a dense run (or
-    // vice versa) would splice incompatible per-pass timings together.
+    // count_mode and broadcast_mode are folded in because the modes price
+    // stages differently: resuming a faithful run's snapshot into a dense
+    // run (or a broadcast run's into a partitioned run) would splice
+    // incompatible per-pass timings together.
     fingerprint = checkpoint_fingerprint(
         "yafim", xxh64(raw.data(), raw.size()), min_count,
-        combine + (u64{static_cast<u32>(options.count_mode)} << 32));
+        combine + (u64{static_cast<u32>(options.count_mode)} << 32) +
+            (u64{static_cast<u32>(options.broadcast_mode)} << 36));
     restored = load_latest_snapshot(*options.checkpoint, fingerprint);
   }
   auto maybe_checkpoint = [&](u32 completed_pass,
@@ -117,7 +128,12 @@ MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
       ctx.parallelize(db.release(), options.partitions)
           .map([](const Transaction& t) { return t; })
           .named("transactions");
-  if (options.cache_transactions) transactions.persist();
+  if (options.cache_transactions) {
+    transactions.persist();
+    // Admit the cached partitions into the memory ledger (serialized size
+    // as the resident estimate) so broadcast_fits sees them as pressure.
+    ctx.memory_budget().note_cached(raw.size());
+  }
   if (load_span) {
     load_span->arg("transactions", num_transactions);
     load_span->end();
@@ -244,11 +260,24 @@ MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
       ctx.record(std::move(gen));
     }
 
+    // Graceful degradation (engine/memory.h): when this batch's trees
+    // would not fit next to what the ledger already places on the tightest
+    // executor, shard the candidate store over the cluster instead of
+    // broadcasting it whole. The decision is re-taken every pass, so a
+    // YAFIM_FAULT_MEM_* shrink mid-run degrades exactly the passes after
+    // the trigger.
+    const bool partitioned =
+        options.broadcast_mode == BroadcastMode::kPartitioned ||
+        (options.broadcast_mode == BroadcastMode::kAuto &&
+         !ctx.memory_budget().broadcast_fits(tree_bytes));
+
     // Vertical mode: build the per-partition bitmap index once, on the
     // first counting pass; the persisted RDD serves every later pass from
-    // cache, so candidate counting never rescans transactions again.
+    // cache, so candidate counting never rescans transactions again. A
+    // partitioned pass re-partitions raw transactions instead of probing
+    // the per-partition index, so it neither builds nor reads it.
     const bool bitmap_mode = options.count_mode == CountMode::kVerticalBitmap;
-    const bool builds_vertical = bitmap_mode && !vertical;
+    const bool builds_vertical = bitmap_mode && !vertical && !partitioned;
     if (builds_vertical) {
       vertical.emplace(
           transactions
@@ -265,7 +294,8 @@ MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
     // HDFS on every action: charge the re-read and the re-parse. Bitmap
     // passes read the cached vertical index instead, so only the pass that
     // builds it pays the recompute.
-    if (!options.cache_transactions && (!bitmap_mode || builds_vertical)) {
+    if (!options.cache_transactions &&
+        (!bitmap_mode || builds_vertical || partitioned)) {
       ctx.record(
           parse_stage("pass" + std::to_string(k) + ":recompute lineage"));
     }
@@ -276,11 +306,12 @@ MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
 
     const bool use_hash_tree = options.use_hash_tree;
     const std::string pass_name = "pass" + std::to_string(k);
-    auto broadcast_trees = ctx.broadcast(trees, tree_bytes, pass_name + ":trees");
     Stopwatch count_clock;
-    if (options.count_mode == CountMode::kItemsetKey) {
+    if (!partitioned && options.count_mode == CountMode::kItemsetKey) {
       // Paper-faithful: every hit copies the itemset out of the tree and
       // the shuffle is keyed on it.
+      auto broadcast_trees =
+          ctx.broadcast(trees, tree_bytes, pass_name + ":trees");
       level =
           transactions
               .flat_map([broadcast_trees,
@@ -309,13 +340,101 @@ MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
               .named(pass_name + ":frequent")
               .collect(pass_name + ":collect");
     } else {
-      // Both dense paths count into one id-indexed array per partition,
+      // All dense paths count into one id-indexed array per partition,
       // merge the arrays element-wise across the shuffle, and materialize
-      // itemsets from the broadcast tree only for MinSup survivors.
+      // itemsets from the driver-side trees only for MinSup survivors.
       std::vector<u64> counts;
-      if (options.count_mode == CountMode::kCandidateId) {
+      if (partitioned) {
+        // Partitioned candidate store: the trees are sharded by candidate
+        // prefix and each shard is shipped to one executor group;
+        // transactions are re-partitioned to the shards their viable
+        // prefix items reach. Shard probes write the same batch-global
+        // dense cells a broadcast probe would, so the merged counts -- and
+        // everything downstream -- are bit-identical to the full path.
+        ctx.linter().note_broadcast_fallback(tree_bytes,
+                                             pass_name + ":trees");
+        ctx.memory_budget().note_fallback(tree_bytes);
+        const u32 nshards = std::max<u32>(
+            1, options.broadcast_shards ? options.broadcast_shards
+                                        : ctx.default_partitions());
+        engine::work::Scope shard_scope;
+        auto store =
+            std::make_shared<std::vector<std::vector<TreeShard>>>(nshards);
+        u64 shard_bytes = 0;
+        for (const HashTree& tree : *trees) {
+          std::vector<TreeShard> shards = shard_hash_tree(
+              tree, nshards, options.branching, options.leaf_capacity);
+          for (u32 s = 0; s < nshards; ++s) {
+            shard_bytes += shards[s].tree.serialized_bytes();
+            (*store)[s].push_back(std::move(shards[s]));
+          }
+        }
+        {
+          // Each shard travels to one executor group instead of every
+          // node: priced as a shuffle of the shard trees, not a broadcast.
+          sim::StageRecord dist;
+          dist.label = pass_name + ":shard-trees";
+          dist.kind = sim::StageKind::kSparkStage;
+          dist.pass = k;
+          dist.driver_work = shard_scope.measured();
+          dist.shuffle_bytes = shard_bytes;
+          ctx.record(std::move(dist));
+          obs::count(obs::CounterId::kShardShuffleBytes, shard_bytes);
+        }
+        const u32 kmin = k;  // smallest candidate size in this batch
+        counts =
+            transactions
+                .flat_map([nshards, kmin](const Transaction& t) {
+                  // Any candidate c contained in t has its first item at
+                  // some t[i] with at least |c|-1 items after it; route t
+                  // once to each distinct shard of those prefix items.
+                  std::vector<std::pair<u32, Transaction>> out;
+                  if (t.size() >= kmin) {
+                    std::vector<u8> seen(nshards, 0);
+                    for (size_t i = 0; i + kmin <= t.size(); ++i) {
+                      const u32 s = candidate_shard(t[i], nshards);
+                      if (!seen[s]) {
+                        seen[s] = 1;
+                        out.emplace_back(s, t);
+                      }
+                    }
+                  }
+                  return out;
+                })
+                .named(pass_name + ":route")
+                .group_by_key(nshards, ShardIdHash{}, pass_name + ":route")
+                .map_partitions(
+                    [store, use_hash_tree, id_space](
+                        const std::vector<
+                            std::pair<u32, std::vector<Transaction>>>& part) {
+                      std::vector<u64> acc(id_space, 0);
+                      for (const auto& [shard, txns] : part) {
+                        for (const TreeShard& ts : (*store)[shard]) {
+                          const std::vector<u64>& ids = ts.global_ids;
+                          auto on_hit = [&acc, &ids](u32 ci) {
+                            ++acc[ids[ci]];
+                          };
+                          for (const Transaction& t : txns) {
+                            if (use_hash_tree) {
+                              static thread_local HashTree::Probe probe;
+                              ts.tree.for_each_contained(t, probe, on_hit);
+                            } else {
+                              ts.tree.for_each_contained_linear(t, on_hit);
+                            }
+                          }
+                        }
+                      }
+                      std::vector<std::vector<u64>> out;
+                      out.push_back(std::move(acc));
+                      return out;
+                    })
+                .named(pass_name + ":shard-count")
+                .sum_arrays(id_space, pass_name + ":count");
+      } else if (options.count_mode == CountMode::kCandidateId) {
         // Dense probing: per-transaction hash-tree walks, no per-hit
         // itemset copies.
+        auto broadcast_trees =
+            ctx.broadcast(trees, tree_bytes, pass_name + ":trees");
         counts =
             transactions
                 .map_partitions([broadcast_trees, use_hash_tree, id_space](
@@ -342,6 +461,8 @@ MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
         // Vertical: no per-transaction work at all -- each partition's
         // cached bitmap index answers every candidate with a word-parallel
         // AND + popcount over its item rows.
+        auto broadcast_trees =
+            ctx.broadcast(trees, tree_bytes, pass_name + ":trees");
         counts =
             vertical
                 ->map_partitions(

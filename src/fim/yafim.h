@@ -46,6 +46,19 @@ struct YafimOptions {
   /// structure and its pricing differ.
   CountMode count_mode = CountMode::kCandidateId;
 
+  /// How the per-pass candidate trees reach the workers (fim/hash_tree.h):
+  /// kAuto broadcasts while the batch fits the executor-memory budget
+  /// (engine::MemoryBudget) and degrades to the partitioned candidate
+  /// store when it would not; kFull always broadcasts (an over-budget tree
+  /// keeps YL002's error semantics); kPartitioned always shards. Every
+  /// mode yields bit-identical FrequentItemsets -- a partitioned pass
+  /// probes shard trees into the same batch-global dense cells.
+  BroadcastMode broadcast_mode = BroadcastMode::kAuto;
+  /// Shard count for the partitioned store (0 = context
+  /// default_partitions). Tests use 1 (degenerate single shard) and large
+  /// values (empty shards) to exercise the boundary cases.
+  u32 broadcast_shards = 0;
+
   /// Hash-tree tuning.
   u32 branching = 0;  // 0 = auto (HashTree::default_branching)
   u32 leaf_capacity = 16;

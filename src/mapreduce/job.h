@@ -26,6 +26,7 @@
 
 #include "engine/bytes_of.h"
 #include "engine/context.h"
+#include "engine/rdd.h"
 #include "engine/work.h"
 #include "obs/trace.h"
 #include "simfs/simfs.h"
@@ -208,6 +209,20 @@ class JobRunner {
       // Distributed-cache payloads are localized once per node.
       map_stage.broadcast_bytes = spec.distributed_cache_bytes * cluster.nodes;
       ctx_.record(std::move(map_stage));
+    }
+
+    // Spillable intermediate shapes degrade to simfs when the map-side
+    // buffers exceed the shuffle-buffer budget -- the same controller as
+    // RDD shuffles (engine/rdd.h), so MapReduce jobs face the same memory
+    // ceiling as Spark stages.
+    std::optional<engine::detail::ShuffleSpill<
+        std::vector<std::vector<std::pair<K, V>>>>>
+        spill;
+    if constexpr (engine::detail::is_spillable_v<std::pair<K, V>>) {
+      spill.emplace(ctx_, spec.name);
+      spill->note_buffered(shuffle_bytes.load(std::memory_order_relaxed));
+      spill->maybe_spill(map_out);
+      spill->restore(map_out);
     }
 
     // Reduce phase: group values per key, reduce, collect output.

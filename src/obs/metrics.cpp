@@ -57,6 +57,13 @@ const char* counter_name(CounterId id) {
     case CounterId::kBitmapIndexBytes: return "bitmap.index_bytes";
     case CounterId::kBitmapAndWords: return "bitmap.and_words";
     case CounterId::kBitmapPopcounts: return "bitmap.popcounts";
+    case CounterId::kBroadcastFallbacks: return "broadcast.fallbacks";
+    case CounterId::kShardShuffleBytes: return "shard.shuffle_bytes";
+    case CounterId::kSpillBlocksWritten: return "spill.blocks_written";
+    case CounterId::kSpillBytesRaw: return "spill.bytes_raw";
+    case CounterId::kSpillBytesStored: return "spill.bytes_stored";
+    case CounterId::kSpillBlocksRead: return "spill.blocks_read";
+    case CounterId::kMemShrinksApplied: return "fault.mem_shrinks";
     case CounterId::kNumCounters: break;
   }
   return "unknown";

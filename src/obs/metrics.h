@@ -82,6 +82,13 @@ enum class CounterId : u32 {
   kBitmapIndexBytes,       ///< vertical bitmap index arena bytes built
   kBitmapAndWords,         ///< 64-bit words ANDed by bitmap support counting
   kBitmapPopcounts,        ///< popcount ops issued by bitmap support counting
+  kBroadcastFallbacks,     ///< broadcasts degraded to the partitioned store
+  kShardShuffleBytes,      ///< bytes re-partitioning shard trees+transactions
+  kSpillBlocksWritten,     ///< shuffle blocks spilled to simfs
+  kSpillBytesRaw,          ///< pre-compression bytes of spilled blocks
+  kSpillBytesStored,       ///< on-simfs bytes of spilled blocks
+  kSpillBlocksRead,        ///< spilled blocks read back by reducers
+  kMemShrinksApplied,      ///< YAFIM_FAULT_MEM_* budget shrinks applied
   kNumCounters,
 };
 

@@ -62,6 +62,20 @@ struct ClusterConfig {
   /// plan linter (engine/lint.h, rule YL002) flags broadcasts past it.
   u64 executor_memory_bytes = 24ull << 30;
 
+  /// Per-node budget for in-flight shuffle buffers (map-side partials held
+  /// in memory until the reduce side consumes them). When a shuffle stage's
+  /// buffered bytes exceed nodes * this, the engine spills map outputs to
+  /// simfs (optionally compressed) and the reduce side reads them back.
+  /// 0 models unbounded shuffle memory (no spill), the seed behavior.
+  u64 shuffle_buffer_bytes = 0;
+
+  /// Compression CPU pricing for spilled shuffle blocks, in work units per
+  /// KiB of *raw* bytes (sim::CostModel::kWorkUnitsPerSecPerCore). The
+  /// defaults model an LZ-class codec: ~250 MB/s/core compress,
+  /// ~1 GB/s/core decompress on the paper-era 2.4 GHz Xeons.
+  u64 spill_compress_work_per_kb = 8;
+  u64 spill_decompress_work_per_kb = 2;
+
   /// HDFS block replication factor.
   u32 hdfs_replication = 3;
   /// HDFS block size.

@@ -24,6 +24,17 @@ SimFSError::SimFSError(std::string path, SimFSErrorKind kind)
       path_(std::move(path)),
       kind_(kind) {}
 
+SimFSError::SimFSError(std::string path, SimFSErrorKind kind, u32 block,
+                       u32 replicas)
+    : std::runtime_error("simfs: '" + path + "' " + kind_name(kind) +
+                         " (block " + std::to_string(block) + ": all " +
+                         std::to_string(replicas) +
+                         " replicas failed verification)"),
+      path_(std::move(path)),
+      kind_(kind),
+      block_(block),
+      replicas_(replicas) {}
+
 double SimFS::write(const std::string& path, std::vector<u8> data) {
   const u64 n = data.size();
   const double seconds = model_.dfs_write_seconds(n);
@@ -92,7 +103,7 @@ std::vector<u8> SimFS::read(const std::string& path,
       }
       if (!ok) {
         ++integrity_.unrecoverable;
-        throw SimFSError(path, SimFSErrorKind::kCorrupt);
+        throw SimFSError(path, SimFSErrorKind::kCorrupt, b, replicas);
       }
     }
   }

@@ -46,13 +46,24 @@ enum class SimFSErrorKind {
 class SimFSError : public std::runtime_error {
  public:
   SimFSError(std::string path, SimFSErrorKind kind);
+  /// kCorrupt detail: which block gave up, after how many replica reads.
+  /// what() then renders e.g. "simfs: 'p' unrecoverably corrupt (block 3:
+  /// all 3 replicas failed verification)" so CI crash-recovery logs name
+  /// the damage without a rerun.
+  SimFSError(std::string path, SimFSErrorKind kind, u32 block, u32 replicas);
 
   const std::string& path() const { return path_; }
   SimFSErrorKind kind() const { return kind_; }
+  /// Failing block index (kCorrupt only; 0 otherwise).
+  u32 block() const { return block_; }
+  /// Replicas tried before giving up (kCorrupt only; 0 otherwise).
+  u32 replicas() const { return replicas_; }
 
  private:
   std::string path_;
   SimFSErrorKind kind_;
+  u32 block_ = 0;
+  u32 replicas_ = 0;
 };
 
 /// Always-on integrity counters (independent of obs tracing), cumulative

@@ -17,6 +17,22 @@ namespace yafim {
 /// "12.3 MB"-style human formatting.
 std::string format_bytes(u64 bytes);
 
+/// Deterministic byte-level run-length codec for shuffle spill blocks
+/// ("yz", for want of a registry). Frame: magic u32 'YZRL', raw size u64,
+/// then a token stream of literal runs (control byte 0x00 + u32 length +
+/// bytes) and repeat runs (control byte 0x01 + u32 length + 1 byte).
+/// Zero-heavy payloads -- sparse per-partition count arrays are mostly
+/// zeros -- shrink by orders of magnitude; incompressible payloads grow by
+/// only the frame + one literal-run header. The codec is intentionally
+/// simple: the simulation prices compression CPU through the cost model,
+/// so fidelity lives in the byte accounting, not the compression ratio.
+std::vector<u8> yz_compress(std::span<const u8> raw);
+
+/// Inverse of yz_compress. Aborts (CHECK) on a malformed frame -- spilled
+/// blocks live on checksummed simfs, so corruption is caught (and repaired
+/// or surfaced) a layer below; a bad frame here is a codec bug.
+std::vector<u8> yz_decompress(std::span<const u8> compressed);
+
 /// Append-only little-endian binary encoder.
 class ByteWriter {
  public:

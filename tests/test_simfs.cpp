@@ -185,6 +185,22 @@ TEST(SimFS, StoredDamageIsUnrecoverable) {
   }
   EXPECT_GE(fs.integrity().unrecoverable, 1u);
 
+  // The error names the damage precisely: failing block index and how many
+  // replicas were tried, both as accessors and in what() (CI crash logs
+  // grep the rendered form without a rerun).
+  try {
+    (void)fs.read("f");
+    FAIL() << "all-replica damage must throw";
+  } catch (const SimFSError& e) {
+    EXPECT_EQ(e.block(), 0u);
+    EXPECT_EQ(e.replicas(), fs.cluster().hdfs_replication);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("block 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("all 3 replicas failed verification"),
+              std::string::npos)
+        << what;
+  }
+
   // With verification off (the microbenchmark baseline) the damage flows
   // through silently -- which is exactly what the checksums exist to stop.
   fs.set_verify_checksums(false);

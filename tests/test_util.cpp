@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <set>
+#include <span>
 
 #include "util/bytes.h"
 #include "util/log.h"
@@ -186,6 +187,50 @@ TEST(Bytes, TruncatedInputAborts) {
 
   ByteReader r3(data);
   EXPECT_DEATH((void)r3.read_u32_vec(), "truncated");
+}
+
+TEST(YzCodec, RoundTripsArbitraryPayloads) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<u8> raw(rng.below(4096));
+    for (auto& b : raw) b = static_cast<u8>(rng.below(256));
+    const auto packed = yz_compress(raw);
+    EXPECT_EQ(yz_decompress(packed), raw) << "trial " << trial;
+  }
+}
+
+TEST(YzCodec, EmptyPayload) {
+  const auto packed = yz_compress(std::span<const u8>{});
+  EXPECT_TRUE(yz_decompress(packed).empty());
+}
+
+TEST(YzCodec, ZeroHeavyPayloadShrinks) {
+  // The codec's target shape: sparse per-partition count arrays, i.e. long
+  // zero runs with scattered nonzero cells.
+  std::vector<u8> raw(64 * 1024, 0);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) raw[rng.below(raw.size())] = 1 + (i % 250);
+  const auto packed = yz_compress(raw);
+  EXPECT_LT(packed.size(), raw.size() / 10);
+  EXPECT_EQ(yz_decompress(packed), raw);
+}
+
+TEST(YzCodec, IncompressiblePayloadGrowsOnlyByFraming) {
+  // A strict byte rotation has no run of length >= the repeat threshold:
+  // worst case is the frame header plus one literal-run header.
+  std::vector<u8> raw(4096);
+  for (size_t i = 0; i < raw.size(); ++i) raw[i] = static_cast<u8>(i);
+  const auto packed = yz_compress(raw);
+  EXPECT_LE(packed.size(), raw.size() + 32);
+  EXPECT_EQ(yz_decompress(packed), raw);
+}
+
+TEST(YzCodec, MalformedFrameAborts) {
+  std::vector<u8> garbage = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13};
+  EXPECT_DEATH((void)yz_decompress(garbage), "");
+  auto packed = yz_compress(std::vector<u8>(100, 7));
+  packed.resize(packed.size() - 1);  // truncate the last run
+  EXPECT_DEATH((void)yz_decompress(packed), "");
 }
 
 TEST(Log, LevelGate) {
