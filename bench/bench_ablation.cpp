@@ -9,6 +9,7 @@
 
 #include "common.h"
 #include "fim/spc_fpc_dpc.h"
+#include "stream/miner.h"
 
 using namespace yafim;
 using namespace yafim::benchharness;
@@ -175,6 +176,38 @@ int main(int argc, char** argv) {
                 faithful.count_sim_s / bitmap.count_sim_s);
   }
   print_table(countmode_table, args);
+
+  std::printf("\n-- Streaming micro-batches: per-batch simulated latency vs "
+              "ingest interval (stream/miner.h) --\n");
+  Table stream_table({"dataset", "batches", "interval(s)", "steady batch(s)",
+                      "widenings", "slack", "itemsets"});
+  for (const auto& bench : benches) {
+    engine::Context ctx(
+        engine::Context::Options{.cluster = sim::ClusterConfig::paper()});
+    simfs::SimFS fs(ctx.cluster());
+    stream::StreamOptions opt;
+    opt.min_support = bench.paper_min_support;
+    opt.num_batches = 12;
+    opt.source.window_s = 5.0;
+    // Stream the whole dataset exactly once across the run so the final
+    // frontier reflects the full-dataset supports the other sections mine.
+    opt.source.ingest_rate = static_cast<double>(bench.db.size()) /
+                             (static_cast<double>(opt.num_batches) *
+                              opt.source.window_s);
+    const auto res = stream::stream_mine(ctx, fs, bench.db, opt);
+    stream_table.add_row(
+        {bench.name, Table::num(u64{res.batches.size()}),
+         Table::num(res.ingest_interval_s, 2),
+         Table::num(res.steady_batch_seconds(), 3),
+         Table::num(res.widenings), Table::num(res.reverify_slack, 2),
+         Table::num(res.itemsets.total())});
+    for (const auto& batch : res.batches) {
+      json.add("stream_batch_sim_s:" + bench.name,
+               static_cast<double>(batch.batch), batch.sim_seconds);
+    }
+    json.add("stream_interval_s:" + bench.name, 0.0, res.ingest_interval_s);
+  }
+  print_table(stream_table, args);
 
   std::printf("\n-- MapReduce job-combining strategies (Lin et al.) --\n");
   Table lin_table({"dataset", "strategy", "jobs", "speculative C",

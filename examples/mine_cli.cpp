@@ -35,6 +35,7 @@
 #include "fim/rules.h"
 #include "fim/yafim.h"
 #include "obs/trace.h"
+#include "stream/miner.h"
 #include "util/log.h"
 #include "util/stopwatch.h"
 
@@ -87,6 +88,13 @@ struct Options {
   u64 shuffle_buffer_mb = 0;
   /// Compress spilled shuffle blocks (the yz codec in util/bytes).
   bool spill_compress = true;
+  /// Streaming micro-batch mode (stream/miner.h): replay the dataset as a
+  /// windowed ingest feed and maintain the frequent itemsets incrementally.
+  bool stream = false;
+  u64 stream_batches = 20;
+  double stream_window_s = 5.0;
+  double stream_rate = 2000.0;
+  u64 stream_seed = 42;
 };
 
 /// All flag errors funnel through here: say what was wrong, show the
@@ -104,6 +112,8 @@ struct Options {
       "          [--lint[=error]] [--no-cache]\n"
       "          [--broadcast-mode=auto|full|partitioned] [--memory-gb=F]\n"
       "          [--shuffle-buffer-mb=N] [--spill-compress=0|1]\n"
+      "          [--stream] [--stream-batches=N] [--stream-window-s=F]\n"
+      "          [--stream-rate=F] [--stream-seed=N]\n"
       "generate names: mushroom t10 chess pumsb medical\n"
       "--lenient: skip + count malformed --input lines instead of\n"
       "  silently taking each line's numeric prefix\n"
@@ -128,7 +138,15 @@ struct Options {
       "--memory-gb=F: executor memory per node in GiB (0 = cluster\n"
       "  default); --shuffle-buffer-mb=N: per-node shuffle-buffer budget\n"
       "  (0 = unbounded); --spill-compress=0|1: compress spilled shuffle\n"
-      "  blocks (default 1)\n",
+      "  blocks (default 1)\n"
+      "--stream: mine the dataset as a micro-batch stream (yafim only):\n"
+      "  replay it as a windowed ingest feed (--stream-window-s seconds per\n"
+      "  window at --stream-rate tx/s, arrival jitter from --stream-seed)\n"
+      "  for --stream-batches batches, maintaining L1/Lk incrementally with\n"
+      "  batch-boundary snapshots (--checkpoint-dir) and backpressure.\n"
+      "  A YAFIM_FAULT_STREAM_* kill exits 9; rerun to resume\n"
+      "exit codes: 0 success; 2 bad flags; 3 --lint=error diagnostic;\n"
+      "  9 stream killed at an injected kill point\n",
       argv0);
   std::exit(2);
 }
@@ -196,6 +214,17 @@ Options parse(int argc, char** argv) {
     } else if (arg.rfind("--shuffle-buffer-mb=", 0) == 0) {
       opt.shuffle_buffer_mb =
           std::strtoull(value("--shuffle-buffer-mb="), nullptr, 10);
+    } else if (arg == "--stream") {
+      opt.stream = true;
+    } else if (arg.rfind("--stream-batches=", 0) == 0) {
+      opt.stream_batches =
+          std::strtoull(value("--stream-batches="), nullptr, 10);
+    } else if (arg.rfind("--stream-window-s=", 0) == 0) {
+      opt.stream_window_s = std::atof(value("--stream-window-s="));
+    } else if (arg.rfind("--stream-rate=", 0) == 0) {
+      opt.stream_rate = std::atof(value("--stream-rate="));
+    } else if (arg.rfind("--stream-seed=", 0) == 0) {
+      opt.stream_seed = std::strtoull(value("--stream-seed="), nullptr, 10);
     } else if (arg.rfind("--spill-compress=", 0) == 0) {
       const std::string v = value("--spill-compress=");
       if (v != "0" && v != "1") {
@@ -246,6 +275,23 @@ Options parse(int argc, char** argv) {
     usage(argv[0],
           "--broadcast-mode/--memory-gb/--shuffle-buffer-mb require "
           "--engine=yafim|mrapriori");
+  }
+  if (opt.stream && opt.engine != "yafim") {
+    usage(argv[0], "--stream requires --engine=yafim");
+  }
+  if (opt.stream && opt.stop_after_pass) {
+    usage(argv[0], "--stop-after-pass is a batch-miner flag; streaming "
+                   "kills are injected via YAFIM_FAULT_STREAM_*");
+  }
+  if (!opt.stream && (opt.stream_batches != 20 ||
+                      opt.stream_window_s != 5.0 ||
+                      opt.stream_rate != 2000.0 || opt.stream_seed != 42)) {
+    usage(argv[0], "--stream-* flags require --stream");
+  }
+  if (opt.stream && (opt.stream_batches == 0 || opt.stream_window_s <= 0.0 ||
+                     opt.stream_rate <= 0.0)) {
+    usage(argv[0], "--stream-batches/--stream-window-s/--stream-rate "
+                   "must be positive");
   }
   return opt;
 }
@@ -369,7 +415,47 @@ int main(int argc, char** argv) {
       }
     }
 
-    if (opt.engine == "yafim") {
+    if (opt.stream) {
+      stream::StreamOptions mine_opt;
+      mine_opt.min_support = opt.minsup;
+      mine_opt.num_batches = opt.stream_batches;
+      mine_opt.source.window_s = opt.stream_window_s;
+      mine_opt.source.ingest_rate = opt.stream_rate;
+      mine_opt.source.seed = opt.stream_seed;
+      mine_opt.broadcast_mode = bmode;
+      mine_opt.checkpoint = store;
+      stream::StreamResult sres;
+      try {
+        sres = stream::stream_mine(ctx, fs, db, mine_opt);
+      } catch (const stream::StreamKilledError& killed) {
+        std::printf("# stream: killed at batch %llu phase %s\n",
+                    (unsigned long long)killed.batch(),
+                    stream::stream_phase_name(killed.phase()));
+        return 9;
+      }
+      // Printed even under --quiet: CI diffs this line between the
+      // kill-resume run and the uninterrupted one, and perf_gate.py
+      // checks the steady-state latency against the ingest interval.
+      std::printf(
+          "# stream: batches=%zu transactions=%llu minsup_count=%llu "
+          "steady_batch_s=%.3f interval_s=%.2f window_factor=%u "
+          "slack=%.2f widenings=%llu slack_raises=%llu reverified=%llu "
+          "deferred_drained=%llu\n",
+          sres.batches.size(), (unsigned long long)sres.total_transactions,
+          (unsigned long long)sres.min_support_count,
+          sres.steady_batch_seconds(), sres.ingest_interval_s,
+          sres.window_factor, sres.reverify_slack,
+          (unsigned long long)sres.widenings,
+          (unsigned long long)sres.slack_raises,
+          (unsigned long long)sres.reverifications,
+          (unsigned long long)sres.deferred_at_close);
+      if (sres.resumed_batch > 0 && !opt.quiet) {
+        std::printf(
+            "# resumed from stream checkpoint: batches 1..%llu restored\n",
+            (unsigned long long)sres.resumed_batch);
+      }
+      run.itemsets = std::move(sres.itemsets);
+    } else if (opt.engine == "yafim") {
       fim::YafimOptions mine_opt;
       mine_opt.min_support = opt.minsup;
       mine_opt.checkpoint = store;
@@ -385,7 +471,7 @@ int main(int argc, char** argv) {
       mine_opt.broadcast_mode = bmode;
       run = fim::mr_apriori_mine(ctx, fs, db, mine_opt);
     }
-    sim_seconds = run.total_seconds();
+    sim_seconds = opt.stream ? ctx.sim_seconds() : run.total_seconds();
     {
       // Printed even under --quiet: CI greps the degradation counters out
       // of this line (beyond-memory smoke lane).

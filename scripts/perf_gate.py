@@ -5,7 +5,7 @@ Compares a fresh BENCH_countmode.json (bench_ablation --json output) against
 the checked-in baseline (bench/baselines/BENCH_countmode_baseline.json,
 generated at the same --scale as the CI run) and fails on regression.
 
-Three checks, tuned to what each quantity can promise:
+Four checks, tuned to what each quantity can promise:
 
 1. intra-run sim:   the fast counting modes (candidate_id x=1,
                     vertical_bitmap x=2) must price their pass>=2 counting
@@ -23,6 +23,14 @@ Three checks, tuned to what each quantity can promise:
                     What is stable is the speedup ratio faithful/mode
                     within one run. Each fast mode's current speedup must
                     stay above the baseline speedup times (1 - band).
+4. streaming:       the steady-state micro-batch latency (mean simulated
+                    seconds over the last quartile of batches in the
+                    'stream_batch_sim_s:*' series) must (a) stay under the
+                    ingest interval ('stream_interval_s:*') -- a stream
+                    that cannot keep up with its own ingest rate is a
+                    functional regression regardless of the baseline --
+                    and (b) not exceed the baseline steady-state latency
+                    beyond the deterministic sim tolerance.
 
 Usage:
   perf_gate.py CURRENT.json BASELINE.json [--sim-tol 1.02] [--ratio-band 0.5]
@@ -72,6 +80,18 @@ def series_by_dataset(doc, prefix, path):
         dataset = name.split(":", 1)[1]
         out[dataset] = {int(x): y for x, y in points}
     return out
+
+
+def steady_batch_seconds(points):
+    """Mean y over the last quartile of batches, by batch index.
+
+    Mirrors StreamResult::steady_batch_seconds (src/stream/miner.cpp): the
+    last max(1, n//4) batches, so warm-up batches (frontier still filling,
+    backpressure still widening) do not dominate the figure.
+    """
+    ys = [y for _, y in sorted(points.items())]
+    tail = ys[-max(1, len(ys) // 4):]
+    return sum(tail) / len(tail)
 
 
 def main():
@@ -151,6 +171,34 @@ def main():
             check(cur_ratio >= floor,
                   f"{dataset} {mode}: host speedup {cur_ratio:.2f}x vs "
                   f"baseline {base_ratio:.2f}x (floor {floor:.2f}x)")
+
+    # 4. streaming steady-state latency gate.
+    cur_stream = series_by_dataset(current, "stream_batch_sim_s",
+                                   args.current)
+    cur_interval = series_by_dataset(current, "stream_interval_s",
+                                     args.current)
+    base_stream = series_by_dataset(baseline, "stream_batch_sim_s",
+                                    args.baseline)
+    if base_stream and not cur_stream:
+        fail(f"{args.current}: baseline has 'stream_batch_sim_s:*' series "
+             "but the current run does not (bench_ablation too old?)")
+    for dataset in sorted(cur_stream):
+        steady = steady_batch_seconds(cur_stream[dataset])
+        interval = cur_interval.get(dataset, {}).get(0)
+        if interval is None:
+            fail(f"{args.current}: 'stream_batch_sim_s:{dataset}' has no "
+                 f"matching 'stream_interval_s:{dataset}' point")
+        check(steady <= interval,
+              f"{dataset} stream: steady batch sim {steady:.3f}s vs ingest "
+              f"interval {interval:.2f}s (must keep up)")
+        if dataset not in base_stream:
+            print(f"note {dataset} stream: not in baseline, "
+                  "keep-up check only")
+            continue
+        base_steady = steady_batch_seconds(base_stream[dataset])
+        check(steady <= base_steady * args.sim_tol,
+              f"{dataset} stream: steady batch sim {steady:.3f}s vs "
+              f"baseline {base_steady:.3f}s (tol x{args.sim_tol})")
 
     if failures:
         print(f"\nperf gate: {len(failures)} regression(s)")

@@ -137,6 +137,25 @@ class Context {
   }
   u32 pass() const { return pass_; }
 
+  /// Pin the stage-sequence counter to a per-epoch base (epoch << 20). The
+  /// fault injector salts every draw with the stage sequence number, so a
+  /// streaming run that restored batches 1..b from a snapshot would
+  /// otherwise see *different* injected faults in batch b+1 than the
+  /// uninterrupted run (fewer stages executed => lower sequence numbers).
+  /// The StreamingMiner calls this at every batch start with the batch
+  /// index, making the draw stream a pure function of (profile, batch,
+  /// stage-within-batch) -- bit-identity holds across resume even under
+  /// task-failure injection. 2^20 stages per epoch is far above any batch.
+  ///
+  /// Also resets the injector's accumulated per-node failure counts and
+  /// blacklists: an epoch is a recovery point, and a resumed run starts
+  /// with zero counts -- cross-epoch scheduling state would otherwise make
+  /// its task placement (and pricing) drift from the uninterrupted run's.
+  void set_stage_epoch(u64 epoch) {
+    stage_seq_.store(epoch << 20, std::memory_order_relaxed);
+    fault_.reset_epoch_state();
+  }
+
   /// Stage bytes contributed by broadcast() calls since the last stage;
   /// attached to the next recorded stage according to share_mode.
   void add_pending_broadcast(u64 bytes) { pending_broadcast_ += bytes; }

@@ -1,5 +1,7 @@
 #include "engine/fault.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 #include "obs/trace.h"
@@ -9,14 +11,53 @@ namespace yafim::engine {
 
 namespace {
 
+// Strict YAFIM_FAULT_* env parsing. A typo'd value used to atof/strtoull to
+// zero, silently disabling the axis -- the injection run would pass CI while
+// testing nothing. Malformed values now die loudly with one structured line.
+[[noreturn]] void reject_env(const char* name, const char* value,
+                             const char* why) {
+  std::fprintf(stderr, "yafim: fault env %s='%s' rejected: %s\n", name, value,
+               why);
+  std::abort();
+}
+
 double env_double(const char* name, double fallback) {
   const char* value = std::getenv(name);
-  return value && *value ? std::atof(value) : fallback;
+  if (!value || !*value) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0' || errno == ERANGE) {
+    reject_env(name, value, "not a finite number");
+  }
+  return parsed;
+}
+
+double env_probability(const char* name, double fallback) {
+  const double p = env_double(name, fallback);
+  if (p < 0.0 || p > 1.0) {
+    reject_env(name, std::getenv(name), "probability must be in [0, 1]");
+  }
+  return p;
+}
+
+double env_nonneg(const char* name, double fallback) {
+  const double v = env_double(name, fallback);
+  if (v < 0.0) reject_env(name, std::getenv(name), "must be >= 0");
+  return v;
 }
 
 u64 env_u64(const char* name, u64 fallback) {
   const char* value = std::getenv(name);
-  return value && *value ? std::strtoull(value, nullptr, 10) : fallback;
+  if (!value || !*value) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  if (*value == '-') reject_env(name, value, "must be a non-negative integer");
+  const u64 parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE) {
+    reject_env(name, value, "must be a non-negative integer");
+  }
+  return parsed;
 }
 
 }  // namespace
@@ -24,10 +65,11 @@ u64 env_u64(const char* name, u64 fallback) {
 FaultProfile FaultProfile::from_env() {
   FaultProfile p;
   p.seed = env_u64("YAFIM_FAULT_SEED", p.seed);
-  p.task_failure_p = env_double("YAFIM_FAULT_TASK_FAILURE_P", p.task_failure_p);
-  p.straggler_p = env_double("YAFIM_FAULT_STRAGGLER_P", p.straggler_p);
+  p.task_failure_p =
+      env_probability("YAFIM_FAULT_TASK_FAILURE_P", p.task_failure_p);
+  p.straggler_p = env_probability("YAFIM_FAULT_STRAGGLER_P", p.straggler_p);
   p.straggler_slowdown =
-      env_double("YAFIM_FAULT_STRAGGLER_SLOWDOWN", p.straggler_slowdown);
+      env_nonneg("YAFIM_FAULT_STRAGGLER_SLOWDOWN", p.straggler_slowdown);
   p.max_task_attempts = static_cast<u32>(
       env_u64("YAFIM_FAULT_MAX_TASK_ATTEMPTS", p.max_task_attempts));
   p.max_stage_attempts = static_cast<u32>(
@@ -35,13 +77,23 @@ FaultProfile FaultProfile::from_env() {
   p.blacklist_after = static_cast<u32>(
       env_u64("YAFIM_FAULT_BLACKLIST_AFTER", p.blacklist_after));
   p.speculation_multiple =
-      env_double("YAFIM_FAULT_SPECULATION_MULTIPLE", p.speculation_multiple);
+      env_nonneg("YAFIM_FAULT_SPECULATION_MULTIPLE", p.speculation_multiple);
   p.mem_shrink_pass = static_cast<u32>(
       env_u64("YAFIM_FAULT_MEM_SHRINK_PASS", p.mem_shrink_pass));
   p.mem_shrink_factor =
       env_double("YAFIM_FAULT_MEM_SHRINK_FACTOR", p.mem_shrink_factor);
+  if (p.mem_shrink_factor < 0.0 || p.mem_shrink_factor > 1.0) {
+    reject_env("YAFIM_FAULT_MEM_SHRINK_FACTOR",
+               std::getenv("YAFIM_FAULT_MEM_SHRINK_FACTOR"),
+               "shrink factor must be in [0, 1]");
+  }
   p.mem_shrink_node = static_cast<u32>(
       env_u64("YAFIM_FAULT_MEM_SHRINK_NODE", p.mem_shrink_node));
+  p.stream_kill_batch = static_cast<u32>(
+      env_u64("YAFIM_FAULT_STREAM_KILL_BATCH", p.stream_kill_batch));
+  p.stream_kill_phase = static_cast<u32>(
+      env_u64("YAFIM_FAULT_STREAM_KILL_PHASE", p.stream_kill_phase));
+  p.stream_seed = env_u64("YAFIM_FAULT_STREAM_SEED", p.stream_seed);
   p.corrupt = sim::CorruptionProfile::from_env();
   return p;
 }
@@ -245,6 +297,13 @@ void FaultInjector::note_task_failure(u32 node) {
   obs::count(obs::CounterId::kNodesBlacklisted);
   obs::instant("fault", "blacklist_node",
                {{"node", node}, {"failures", node_failures_[node]}});
+}
+
+void FaultInjector::reset_epoch_state() {
+  util::MutexLock lock(mutex_);
+  std::fill(node_failures_.begin(), node_failures_.end(), 0);
+  std::fill(node_blacklisted_.begin(), node_blacklisted_.end(), false);
+  blacklisted_count_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace yafim::engine

@@ -105,15 +105,30 @@ struct FaultProfile {
   double mem_shrink_factor = 0.5;
   u32 mem_shrink_node = 0;
 
+  /// Streaming crash injection (stream/miner.h): kill the process (well,
+  /// throw StreamKilledError) at a deterministic micro-batch boundary or
+  /// mid-batch phase. `stream_kill_batch` names the 1-based batch to die in
+  /// (0 disables the axis); `stream_kill_phase` the phase within it
+  /// (0=ingest .. 5=boundary). When only `stream_seed` is set, batch and
+  /// phase are derived from it by hashing, so a CI loop over seeds covers
+  /// the whole kill-point matrix without enumerating it.
+  u32 stream_kill_batch = 0;
+  u32 stream_kill_phase = 0;
+  u64 stream_seed = 0;
+
   bool enabled() const { return task_failure_p > 0.0 || straggler_p > 0.0; }
 
   /// Profile from YAFIM_FAULT_* environment variables (all optional:
   /// SEED, TASK_FAILURE_P, STRAGGLER_P, STRAGGLER_SLOWDOWN,
   /// MAX_TASK_ATTEMPTS, MAX_STAGE_ATTEMPTS, BLACKLIST_AFTER,
   /// SPECULATION_MULTIPLE, MEM_SHRINK_PASS, MEM_SHRINK_FACTOR,
-  /// MEM_SHRINK_NODE). Unset variables keep the defaults above, so an
-  /// env-free process gets a disabled profile. This is how the CI
-  /// fault-matrix runs the whole test suite under injection.
+  /// MEM_SHRINK_NODE, STREAM_KILL_BATCH, STREAM_KILL_PHASE, STREAM_SEED).
+  /// Unset variables keep the defaults above, so an env-free process gets a
+  /// disabled profile. This is how the CI fault-matrix runs the whole test
+  /// suite under injection. Malformed values (non-numeric text, negative
+  /// probabilities, factors above 1) abort with a one-line structured error
+  /// rather than silently parsing to zero: an injection run whose axes
+  /// quietly disabled themselves would pass CI while testing nothing.
   static FaultProfile from_env();
 };
 
@@ -223,6 +238,15 @@ class FaultInjector {
   /// reaches profile().blacklist_after failures (always keeping at least
   /// one node live).
   void note_task_failure(u32 node);
+
+  /// Forget accumulated per-node failure counts and lift blacklists.
+  /// Called at every stage-epoch boundary (Context::set_stage_epoch): an
+  /// epoch is a recovery point, so any engine state that influences future
+  /// scheduling must either live in the caller's snapshot or be reset here
+  /// -- otherwise a resumed run (which starts with zero counts) would place
+  /// tasks differently from the uninterrupted one. Lifetime counters
+  /// (task_failures() etc.) are observability and are NOT reset.
+  void reset_epoch_state();
 
   // --- always-on recovery statistics (independent of obs tracing) ------
 

@@ -25,6 +25,9 @@ obs::CounterId rule_counter(const char* rule) {
   if (std::strcmp(rule, "YL004") == 0) {
     return obs::CounterId::kLintFilterPushdown;
   }
+  if (std::strcmp(rule, "YL006") == 0) {
+    return obs::CounterId::kLintStreamBackpressure;
+  }
   return obs::CounterId::kLintDeepLineage;
 }
 
@@ -150,6 +153,27 @@ void PlanLinter::note_broadcast_fallback(u64 bytes, const std::string& name) {
   diag.node_name = name;
   diag.message = os.str();
   obs::count(rule_counter("YL002"));
+  diagnostics_.push_back(std::move(diag));
+}
+
+void PlanLinter::note_stream_backpressure(double slack, u64 deferred,
+                                          double latency_s, double interval_s,
+                                          const std::string& name) {
+  if (!enabled_) return;
+  util::MutexLock lock(mutex_);
+  std::ostringstream os;
+  os << "backpressure raised re-verification slack to " << slack
+     << " (deferring " << deferred << " MinSup crossing(s)): batch latency "
+     << latency_s << "s vs ingest interval " << interval_s
+     << "s -- results stay exact, but frontier maintenance is lagging the "
+        "ingest rate";
+  LintDiagnostic diag;
+  diag.rule = "YL006";
+  diag.severity = LintSeverity::kNote;
+  diag.node = 0;
+  diag.node_name = name;
+  diag.message = os.str();
+  obs::count(rule_counter("YL006"));
   diagnostics_.push_back(std::move(diag));
 }
 

@@ -32,6 +32,10 @@
 //   YL005  warn   lineage deeper than LintOptions::max_lineage_depth at a
 //                 consumption -- recomputing one lost partition replays the
 //                 whole chain, so recovery cost grows with plan length.
+//   YL006  note   streaming backpressure raised the effective re-verification
+//                 threshold -- results stay exact (crossings are deferred,
+//                 never dropped), but frontier maintenance is lagging the
+//                 ingest rate and the deferred work is accumulating.
 //
 // Each emitted diagnostic also bumps an obs counter (lint.* family, gated on
 // tracing like every obs counter). Tests assert through the Context hook
@@ -117,6 +121,13 @@ class PlanLinter {
   /// surfacing, but workers never hold the oversized value, so it is no
   /// longer an error.
   void note_broadcast_fallback(u64 bytes, const std::string& name);
+  /// YL006: the streaming backpressure controller raised the effective
+  /// re-verification slack to `slack` (deferring `deferred` MinSup
+  /// crossings) because batch latency reached `latency_s` against an ingest
+  /// interval of `interval_s`. A note, not a warning: output stays exact,
+  /// but the plan is running at the edge of its ingest budget.
+  void note_stream_backpressure(double slack, u64 deferred, double latency_s,
+                                double interval_s, const std::string& name);
   /// End-of-plan rules (YL003 dead cache). Call after the last action;
   /// idempotent per node.
   void finalize();

@@ -22,6 +22,17 @@ DirCheckpointStore::DirCheckpointStore(std::string dir)
   std::error_code ec;
   fs::create_directories(dir_, ec);
   YAFIM_CHECK(!ec, "cannot create checkpoint dir");
+  // Sweep *.tmp orphans left by a crash between tmp-write and rename.
+  // list() already skips them, so they were never parsed, but without the
+  // sweep they accumulate forever across crash/resume cycles.
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() >= 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      std::error_code rm_ec;
+      fs::remove(entry.path(), rm_ec);
+    }
+  }
 }
 
 void DirCheckpointStore::put(const std::string& name,

@@ -10,6 +10,7 @@
 #include "engine/rdd.h"
 #include "fim/bitmap.h"
 #include "fim/candidate_gen.h"
+#include "fim/count_core.h"
 #include "fim/hash_tree.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -19,14 +20,6 @@
 namespace yafim::fim {
 
 namespace {
-
-using CountPair = std::pair<Itemset, u64>;
-
-/// Identity hash for shard ids, so shard s deterministically lands in
-/// reduce partition s of the routing shuffle (shard -> executor placement).
-struct ShardIdHash {
-  size_t operator()(u32 shard) const { return shard; }
-};
 
 /// Fill PassStats::sim_seconds (and the setup time) by pricing the stages
 /// this run appended to the context's report.
@@ -304,203 +297,21 @@ MiningRun yafim_mine(engine::Context& ctx, simfs::SimFS& fs,
     // one dense array spans every level counted this pass.
     const u64 id_space = HashTree::assign_id_offsets(*trees);
 
-    const bool use_hash_tree = options.use_hash_tree;
-    const std::string pass_name = "pass" + std::to_string(k);
+    // The counting job itself lives in fim/count_core.{h,cpp}, shared with
+    // the streaming miner so both count through identical stages.
+    CountCoreOptions count_opt;
+    count_opt.count_mode = options.count_mode;
+    count_opt.use_hash_tree = options.use_hash_tree;
+    count_opt.partitioned = partitioned;
+    count_opt.broadcast_shards = options.broadcast_shards;
+    count_opt.branching = options.branching;
+    count_opt.leaf_capacity = options.leaf_capacity;
+    count_opt.kmin = k;  // smallest candidate size in this batch
+    count_opt.min_count = min_count;
+    count_opt.pass_name = "pass" + std::to_string(k);
     Stopwatch count_clock;
-    if (!partitioned && options.count_mode == CountMode::kItemsetKey) {
-      // Paper-faithful: every hit copies the itemset out of the tree and
-      // the shuffle is keyed on it.
-      auto broadcast_trees =
-          ctx.broadcast(trees, tree_bytes, pass_name + ":trees");
-      level =
-          transactions
-              .flat_map([broadcast_trees,
-                         use_hash_tree](const Transaction& t) {
-                std::vector<Itemset> occurrences;
-                for (const HashTree& tree : **broadcast_trees) {
-                  auto on_hit = [&](u32 ci) {
-                    occurrences.push_back(tree.candidate(ci));
-                  };
-                  if (use_hash_tree) {
-                    static thread_local HashTree::Probe probe;
-                    tree.for_each_contained(t, probe, on_hit);
-                  } else {
-                    tree.for_each_contained_linear(t, on_hit);
-                  }
-                }
-                return occurrences;
-              })
-              .map([](const Itemset& c) { return CountPair(c, 1); })
-              .reduce_by_key([](u64 a, u64 b) { return a + b; }, 0,
-                             ItemsetHash{}, pass_name + ":count")
-              .named(pass_name + ":counts")
-              .filter([min_count](const CountPair& kv) {
-                return kv.second >= min_count;
-              })
-              .named(pass_name + ":frequent")
-              .collect(pass_name + ":collect");
-    } else {
-      // All dense paths count into one id-indexed array per partition,
-      // merge the arrays element-wise across the shuffle, and materialize
-      // itemsets from the driver-side trees only for MinSup survivors.
-      std::vector<u64> counts;
-      if (partitioned) {
-        // Partitioned candidate store: the trees are sharded by candidate
-        // prefix and each shard is shipped to one executor group;
-        // transactions are re-partitioned to the shards their viable
-        // prefix items reach. Shard probes write the same batch-global
-        // dense cells a broadcast probe would, so the merged counts -- and
-        // everything downstream -- are bit-identical to the full path.
-        ctx.linter().note_broadcast_fallback(tree_bytes,
-                                             pass_name + ":trees");
-        ctx.memory_budget().note_fallback(tree_bytes);
-        const u32 nshards = std::max<u32>(
-            1, options.broadcast_shards ? options.broadcast_shards
-                                        : ctx.default_partitions());
-        engine::work::Scope shard_scope;
-        auto store =
-            std::make_shared<std::vector<std::vector<TreeShard>>>(nshards);
-        u64 shard_bytes = 0;
-        for (const HashTree& tree : *trees) {
-          std::vector<TreeShard> shards = shard_hash_tree(
-              tree, nshards, options.branching, options.leaf_capacity);
-          for (u32 s = 0; s < nshards; ++s) {
-            shard_bytes += shards[s].tree.serialized_bytes();
-            (*store)[s].push_back(std::move(shards[s]));
-          }
-        }
-        {
-          // Each shard travels to one executor group instead of every
-          // node: priced as a shuffle of the shard trees, not a broadcast.
-          sim::StageRecord dist;
-          dist.label = pass_name + ":shard-trees";
-          dist.kind = sim::StageKind::kSparkStage;
-          dist.pass = k;
-          dist.driver_work = shard_scope.measured();
-          dist.shuffle_bytes = shard_bytes;
-          ctx.record(std::move(dist));
-          obs::count(obs::CounterId::kShardShuffleBytes, shard_bytes);
-        }
-        const u32 kmin = k;  // smallest candidate size in this batch
-        counts =
-            transactions
-                .flat_map([nshards, kmin](const Transaction& t) {
-                  // Any candidate c contained in t has its first item at
-                  // some t[i] with at least |c|-1 items after it; route t
-                  // once to each distinct shard of those prefix items.
-                  std::vector<std::pair<u32, Transaction>> out;
-                  if (t.size() >= kmin) {
-                    std::vector<u8> seen(nshards, 0);
-                    for (size_t i = 0; i + kmin <= t.size(); ++i) {
-                      const u32 s = candidate_shard(t[i], nshards);
-                      if (!seen[s]) {
-                        seen[s] = 1;
-                        out.emplace_back(s, t);
-                      }
-                    }
-                  }
-                  return out;
-                })
-                .named(pass_name + ":route")
-                .group_by_key(nshards, ShardIdHash{}, pass_name + ":route")
-                .map_partitions(
-                    [store, use_hash_tree, id_space](
-                        const std::vector<
-                            std::pair<u32, std::vector<Transaction>>>& part) {
-                      std::vector<u64> acc(id_space, 0);
-                      for (const auto& [shard, txns] : part) {
-                        for (const TreeShard& ts : (*store)[shard]) {
-                          const std::vector<u64>& ids = ts.global_ids;
-                          auto on_hit = [&acc, &ids](u32 ci) {
-                            ++acc[ids[ci]];
-                          };
-                          for (const Transaction& t : txns) {
-                            if (use_hash_tree) {
-                              static thread_local HashTree::Probe probe;
-                              ts.tree.for_each_contained(t, probe, on_hit);
-                            } else {
-                              ts.tree.for_each_contained_linear(t, on_hit);
-                            }
-                          }
-                        }
-                      }
-                      std::vector<std::vector<u64>> out;
-                      out.push_back(std::move(acc));
-                      return out;
-                    })
-                .named(pass_name + ":shard-count")
-                .sum_arrays(id_space, pass_name + ":count");
-      } else if (options.count_mode == CountMode::kCandidateId) {
-        // Dense probing: per-transaction hash-tree walks, no per-hit
-        // itemset copies.
-        auto broadcast_trees =
-            ctx.broadcast(trees, tree_bytes, pass_name + ":trees");
-        counts =
-            transactions
-                .map_partitions([broadcast_trees, use_hash_tree, id_space](
-                                    const std::vector<Transaction>& part) {
-                  std::vector<u64> acc(id_space, 0);
-                  for (const Transaction& t : part) {
-                    for (const HashTree& tree : **broadcast_trees) {
-                      u64* cells = acc.data() + tree.id_offset();
-                      auto on_hit = [cells](u32 ci) { ++cells[ci]; };
-                      if (use_hash_tree) {
-                        static thread_local HashTree::Probe probe;
-                        tree.for_each_contained(t, probe, on_hit);
-                      } else {
-                        tree.for_each_contained_linear(t, on_hit);
-                      }
-                    }
-                  }
-                  std::vector<std::vector<u64>> out;
-                  out.push_back(std::move(acc));
-                  return out;
-                })
-                .sum_arrays(id_space, pass_name + ":count");
-      } else {
-        // Vertical: no per-transaction work at all -- each partition's
-        // cached bitmap index answers every candidate with a word-parallel
-        // AND + popcount over its item rows.
-        auto broadcast_trees =
-            ctx.broadcast(trees, tree_bytes, pass_name + ":trees");
-        counts =
-            vertical
-                ->map_partitions(
-                    [broadcast_trees,
-                     id_space](const std::vector<VerticalBitmapIndex>& part) {
-                      std::vector<u64> acc(id_space, 0);
-                      for (const VerticalBitmapIndex& index : part) {
-                        for (const HashTree& tree : **broadcast_trees) {
-                          index.count_candidates(
-                              tree, acc.data() + tree.id_offset());
-                        }
-                      }
-                      std::vector<std::vector<u64>> out;
-                      out.push_back(std::move(acc));
-                      return out;
-                    })
-                .sum_arrays(id_space, pass_name + ":count");
-      }
-
-      engine::work::Scope mat_scope;
-      level.clear();
-      for (const HashTree& tree : *trees) {
-        const u64 base = tree.id_offset();
-        for (u32 ci = 0; ci < tree.size(); ++ci) {
-          engine::work::add(1);
-          const u64 support = counts[base + ci];
-          if (support >= min_count) {
-            level.emplace_back(tree.candidate(ci), support);
-          }
-        }
-      }
-      sim::StageRecord mat;
-      mat.label = pass_name + ":materialize";
-      mat.kind = sim::StageKind::kOverhead;
-      mat.pass = k;
-      mat.driver_work = mat_scope.measured();
-      ctx.record(std::move(mat));
-    }
+    level = count_candidate_trees(ctx, transactions, trees, tree_bytes,
+                                  id_space, &vertical, count_opt);
     run.count_host_seconds += count_clock.seconds();
 
     // Split the mixed-size result back into levels.

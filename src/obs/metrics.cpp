@@ -64,6 +64,15 @@ const char* counter_name(CounterId id) {
     case CounterId::kSpillBytesStored: return "spill.bytes_stored";
     case CounterId::kSpillBlocksRead: return "spill.blocks_read";
     case CounterId::kMemShrinksApplied: return "fault.mem_shrinks";
+    case CounterId::kStreamBatches: return "stream.batches";
+    case CounterId::kStreamTransactions: return "stream.transactions";
+    case CounterId::kStreamReverifications: return "stream.reverifications";
+    case CounterId::kStreamReverifyDeferred:
+      return "stream.reverify_deferred";
+    case CounterId::kStreamWindowWidenings: return "stream.window_widenings";
+    case CounterId::kStreamSlackRaises: return "stream.slack_raises";
+    case CounterId::kLintStreamBackpressure:
+      return "lint.stream_backpressure";
     case CounterId::kNumCounters: break;
   }
   return "unknown";

@@ -89,6 +89,13 @@ enum class CounterId : u32 {
   kSpillBytesStored,       ///< on-simfs bytes of spilled blocks
   kSpillBlocksRead,        ///< spilled blocks read back by reducers
   kMemShrinksApplied,      ///< YAFIM_FAULT_MEM_* budget shrinks applied
+  kStreamBatches,          ///< micro-batches mined by the StreamingMiner
+  kStreamTransactions,     ///< transactions ingested across all batches
+  kStreamReverifications,  ///< candidates re-verified after a MinSup crossing
+  kStreamReverifyDeferred, ///< crossings deferred by the backpressure slack
+  kStreamWindowWidenings,  ///< backpressure batch-window widenings applied
+  kStreamSlackRaises,      ///< backpressure re-verify slack raises applied
+  kLintStreamBackpressure, ///< YL006 diagnostics emitted by the plan linter
   kNumCounters,
 };
 

@@ -76,6 +76,15 @@ struct ClusterConfig {
   u64 spill_compress_work_per_kb = 8;
   u64 spill_decompress_work_per_kb = 2;
 
+  /// Per-record ingest cost for the streaming micro-batch layer, in work
+  /// units: receiver deserialization + write-ahead-log append for one
+  /// arriving transaction (~0.25 ms). Cheaper than record_parse_work --
+  /// streamed records arrive pre-framed instead of going through the
+  /// text-parsing RecordReader -- but nonzero, so the ingest phase shows up
+  /// in per-batch latency and the backpressure controller has something to
+  /// trade against.
+  u64 stream_ingest_work = 500;
+
   /// HDFS block replication factor.
   u32 hdfs_replication = 3;
   /// HDFS block size.

@@ -1,5 +1,7 @@
 #include "sim/corruption.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 #include "util/rng.h"
@@ -8,14 +10,42 @@ namespace yafim::sim {
 
 namespace {
 
-double env_double(const char* name, double fallback) {
+// Strict env parsing, mirroring engine/fault.cpp (this layer sits below the
+// engine, so the helpers are duplicated rather than shared): a typo'd value
+// must die loudly, not atof to zero and silently disable the axis.
+[[noreturn]] void reject_env(const char* name, const char* value,
+                             const char* why) {
+  std::fprintf(stderr, "yafim: fault env %s='%s' rejected: %s\n", name, value,
+               why);
+  std::abort();
+}
+
+double env_probability(const char* name, double fallback) {
   const char* value = std::getenv(name);
-  return value && *value ? std::atof(value) : fallback;
+  if (!value || !*value) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0' || errno == ERANGE) {
+    reject_env(name, value, "not a finite number");
+  }
+  if (parsed < 0.0 || parsed > 1.0) {
+    reject_env(name, value, "probability must be in [0, 1]");
+  }
+  return parsed;
 }
 
 u64 env_u64(const char* name, u64 fallback) {
   const char* value = std::getenv(name);
-  return value && *value ? std::strtoull(value, nullptr, 10) : fallback;
+  if (!value || !*value) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  if (*value == '-') reject_env(name, value, "must be a non-negative integer");
+  const u64 parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE) {
+    reject_env(name, value, "must be a non-negative integer");
+  }
+  return parsed;
 }
 
 /// Uniform [0, 1) from a chain of mixed salts (same construction as the
@@ -30,8 +60,8 @@ double draw_uniform(u64 seed, u64 a, u64 b, u64 c) {
 CorruptionProfile CorruptionProfile::from_env() {
   CorruptionProfile p;
   p.seed = env_u64("YAFIM_FAULT_SEED", p.seed);
-  p.block_p = env_double("YAFIM_FAULT_CORRUPT_BLOCK_P", p.block_p);
-  p.cached_p = env_double("YAFIM_FAULT_CORRUPT_CACHED_P", p.cached_p);
+  p.block_p = env_probability("YAFIM_FAULT_CORRUPT_BLOCK_P", p.block_p);
+  p.cached_p = env_probability("YAFIM_FAULT_CORRUPT_CACHED_P", p.cached_p);
   return p;
 }
 

@@ -1,0 +1,55 @@
+#include "stream/backpressure.h"
+
+#include <algorithm>
+
+#include "engine/lint.h"
+#include "obs/metrics.h"
+
+namespace yafim::stream {
+
+void BackpressureController::observe(double latency_s, double interval_s,
+                                     u64 deferred, BackpressureState* state,
+                                     engine::PlanLinter* linter) {
+  YAFIM_CHECK(state != nullptr, "controller needs state to steer");
+  if (latency_s > options_.widen_threshold * interval_s) {
+    // Escalate one step: widen first (results untouched), then slack.
+    if (state->window_factor < options_.max_window_factor) {
+      state->window_factor = std::min(options_.max_window_factor,
+                                      state->window_factor * 2);
+      ++widenings_;
+      obs::count(obs::CounterId::kStreamWindowWidenings);
+      return;
+    }
+    if (state->reverify_slack + 1e-12 < options_.max_slack) {
+      state->reverify_slack =
+          std::min(options_.max_slack,
+                   state->reverify_slack + options_.slack_step);
+      ++slack_raises_;
+      obs::count(obs::CounterId::kStreamSlackRaises);
+      if (linter) {
+        linter->note_stream_backpressure(state->reverify_slack, deferred,
+                                         latency_s, interval_s, "stream");
+      }
+      return;
+    }
+    return;  // ladder exhausted: bounded by design, reported via counters
+  }
+  if (latency_s < options_.relax_threshold * interval_s) {
+    // De-escalate in reverse: drop slack before narrowing the window. The
+    // last step snaps exactly to zero (accumulated 0.1-steps leave float
+    // residue that would otherwise burn an extra relax round on epsilon).
+    if (state->reverify_slack > 0.0) {
+      state->reverify_slack =
+          state->reverify_slack <= options_.slack_step + 1e-9
+              ? 0.0
+              : state->reverify_slack - options_.slack_step;
+      return;
+    }
+    if (state->window_factor > 1) {
+      state->window_factor = std::max<u32>(1, state->window_factor / 2);
+      return;
+    }
+  }
+}
+
+}  // namespace yafim::stream

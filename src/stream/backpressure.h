@@ -1,0 +1,78 @@
+// Backpressure controller for the streaming miner.
+//
+// Watches per-batch mining latency (simulated seconds) against the batch's
+// ingest interval and degrades gracefully instead of falling behind
+// unboundedly, in two bounded steps:
+//
+//   1. Widen the batch window (doubling window_factor up to
+//      max_window_factor): per-batch fixed costs -- task launches, snapshot
+//      writes, candidate generation -- amortize over more transactions, so
+//      the latency/interval ratio improves without touching results at all.
+//   2. Raise the effective re-verification threshold: frontier *entry* is
+//      deferred for itemsets within `reverify_slack` of MinSup (exit stays
+//      at MinSup -- hysteresis). Crossings are deferred, never dropped: the
+//      miner's finalize() drains every deferral, so final output is exact.
+//      Each raise is surfaced as a YL006 lint note and an obs counter.
+//
+// De-escalation runs the same ladder in reverse when latency drops well
+// below the interval. All decisions are pure functions of the observed
+// deterministic sim latencies, so an interrupted-and-resumed run makes
+// bit-identical controller moves.
+#pragma once
+
+#include "util/common.h"
+
+namespace yafim::engine {
+class PlanLinter;
+}
+
+namespace yafim::stream {
+
+struct BackpressureOptions {
+  /// Escalate when batch latency exceeds this fraction of the interval.
+  double widen_threshold = 0.9;
+  /// De-escalate when latency falls below this fraction.
+  double relax_threshold = 0.45;
+  /// Window may widen to at most this many nominal windows.
+  u32 max_window_factor = 8;
+  /// Re-verification slack per raise, and its bound.
+  double slack_step = 0.1;
+  double max_slack = 0.5;
+};
+
+/// The controller's persistent knobs -- checkpointed with the miner state
+/// so a resumed run continues with the same effective window and slack.
+struct BackpressureState {
+  u32 window_factor = 1;
+  double reverify_slack = 0.0;
+};
+
+class BackpressureController {
+ public:
+  explicit BackpressureController(BackpressureOptions options)
+      : options_(options) {}
+
+  const BackpressureOptions& options() const { return options_; }
+
+  /// Digest one finished batch: `latency_s` simulated mining seconds
+  /// against `interval_s` of ingest; `deferred` is the current count of
+  /// deferred MinSup crossings (for the YL006 note). Mutates `state` by at
+  /// most one ladder step; emits the YL006 note through `linter` (may be
+  /// null) on each slack raise.
+  void observe(double latency_s, double interval_s, u64 deferred,
+               BackpressureState* state, engine::PlanLinter* linter);
+
+  u64 widenings() const { return widenings_; }
+  u64 slack_raises() const { return slack_raises_; }
+  void restore_stats(u64 widenings, u64 slack_raises) {
+    widenings_ = widenings;
+    slack_raises_ = slack_raises;
+  }
+
+ private:
+  BackpressureOptions options_;
+  u64 widenings_ = 0;
+  u64 slack_raises_ = 0;
+};
+
+}  // namespace yafim::stream

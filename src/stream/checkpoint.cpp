@@ -1,0 +1,155 @@
+#include "stream/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "util/bytes.h"
+#include "util/checksum.h"
+
+namespace yafim::stream {
+
+std::string stream_snapshot_name(u64 batch) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "batch-%06llu.ck",
+                static_cast<unsigned long long>(batch));
+  return buf;
+}
+
+std::vector<u8> encode_stream_snapshot(const StreamCheckpointState& state) {
+  ByteWriter w;
+  w.write_u32(fim::kSnapshotMagic);
+  w.write_u32(kStreamSnapshotVersion);
+  w.write_u64(state.fingerprint);
+  w.write_u64(state.batch);
+  w.write_u64(state.source_offset);
+  w.write_u64(state.total_transactions);
+  w.write_u64(state.min_support_count);
+  w.write_u32(state.window_factor);
+  w.write_double(state.reverify_slack);
+  w.write_u64(state.widenings);
+  w.write_u64(state.slack_raises);
+  w.write_u64(state.reverifications);
+
+  // Supports and frontier sorted by (size, lex) so identical states encode
+  // to identical bytes regardless of hash-map iteration order.
+  auto supports = state.supports;
+  std::sort(supports.begin(), supports.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first.size() != b.first.size()) {
+                return a.first.size() < b.first.size();
+              }
+              return a.first < b.first;
+            });
+  w.write_u64(supports.size());
+  for (const auto& [itemset, support] : supports) {
+    w.write_u32_vec(itemset);
+    w.write_u64(support);
+  }
+
+  auto frontier = state.frontier;
+  std::sort(frontier.begin(), frontier.end(),
+            [](const fim::Itemset& a, const fim::Itemset& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+  w.write_u64(frontier.size());
+  for (const fim::Itemset& s : frontier) w.write_u32_vec(s);
+
+  w.write_u64(state.batches.size());
+  for (const StreamBatchStats& b : state.batches) {
+    w.write_u64(b.batch);
+    w.write_u64(b.transactions);
+    w.write_u64(b.new_candidates);
+    w.write_u32(b.window_factor);
+    w.write_double(b.sim_seconds);
+  }
+
+  w.write_u64(xxh64(w.data().data(), w.data().size()));
+  return w.take();
+}
+
+std::optional<StreamCheckpointState> decode_stream_snapshot(
+    std::span<const u8> bytes, u64 expected_fingerprint) {
+  // Checksum FIRST, then parse: only verified bytes reach the ByteReader,
+  // so a torn or flipped snapshot is rejected whole (fim/checkpoint.cpp
+  // discipline).
+  constexpr size_t kMinBytes = 4 + 4 + 8 + 8;
+  if (bytes.size() < kMinBytes) return std::nullopt;
+  const size_t body = bytes.size() - 8;
+  u64 stored_sum;
+  std::memcpy(&stored_sum, bytes.data() + body, sizeof(stored_sum));
+  if (xxh64(bytes.data(), body) != stored_sum) return std::nullopt;
+
+  ByteReader r(bytes.first(body));
+  if (r.read_u32() != fim::kSnapshotMagic) return std::nullopt;
+  if (r.read_u32() != kStreamSnapshotVersion) return std::nullopt;
+
+  StreamCheckpointState state;
+  state.fingerprint = r.read_u64();
+  if (state.fingerprint != expected_fingerprint) return std::nullopt;
+  state.batch = r.read_u64();
+  state.source_offset = r.read_u64();
+  state.total_transactions = r.read_u64();
+  state.min_support_count = r.read_u64();
+  state.window_factor = r.read_u32();
+  state.reverify_slack = r.read_double();
+  state.widenings = r.read_u64();
+  state.slack_raises = r.read_u64();
+  state.reverifications = r.read_u64();
+
+  const u64 nsupports = r.read_u64();
+  state.supports.reserve(nsupports);
+  for (u64 i = 0; i < nsupports; ++i) {
+    fim::Itemset s = r.read_u32_vec();
+    const u64 support = r.read_u64();
+    state.supports.emplace_back(std::move(s), support);
+  }
+
+  const u64 nfrontier = r.read_u64();
+  state.frontier.reserve(nfrontier);
+  for (u64 i = 0; i < nfrontier; ++i) {
+    state.frontier.push_back(r.read_u32_vec());
+  }
+
+  const u64 nbatches = r.read_u64();
+  state.batches.reserve(nbatches);
+  for (u64 i = 0; i < nbatches; ++i) {
+    StreamBatchStats b;
+    b.batch = r.read_u64();
+    b.transactions = r.read_u64();
+    b.new_candidates = r.read_u64();
+    b.window_factor = r.read_u32();
+    b.sim_seconds = r.read_double();
+    state.batches.push_back(b);
+  }
+
+  if (!r.done()) return std::nullopt;
+  return state;
+}
+
+void save_stream_snapshot(fim::CheckpointStore& store,
+                          const StreamCheckpointState& state) {
+  const std::vector<u8> bytes = encode_stream_snapshot(state);
+  store.put(stream_snapshot_name(state.batch), bytes);
+  obs::count(obs::CounterId::kCheckpointsWritten);
+  obs::count(obs::CounterId::kCheckpointBytesWritten, bytes.size());
+}
+
+std::optional<StreamCheckpointState> load_latest_stream_snapshot(
+    fim::CheckpointStore& store, u64 expected_fingerprint, u32* rejected) {
+  std::vector<std::string> names = store.list();
+  for (auto it = names.rbegin(); it != names.rend(); ++it) {
+    const auto bytes = store.get(*it);
+    if (bytes) {
+      auto state = decode_stream_snapshot(*bytes, expected_fingerprint);
+      if (state) return state;
+    }
+    if (rejected) ++(*rejected);
+    obs::count(obs::CounterId::kCheckpointsRejected);
+  }
+  return std::nullopt;
+}
+
+}  // namespace yafim::stream

@@ -1,0 +1,40 @@
+#include "stream/source.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace yafim::stream {
+
+TransactionSource::TransactionSource(fim::TransactionDB db,
+                                     SourceOptions options)
+    : db_(std::move(db)), options_(options) {
+  YAFIM_CHECK(db_.size() > 0, "streaming source needs a non-empty dataset");
+  YAFIM_CHECK(options_.window_s > 0.0 && options_.ingest_rate > 0.0,
+              "window and ingest rate must be positive");
+}
+
+u64 TransactionSource::window_count(u64 batch, u32 window_factor) const {
+  const double nominal =
+      options_.window_s * options_.ingest_rate * std::max<u32>(1, window_factor);
+  // +-10% jitter, a pure hash of (seed, batch): wider batches keep the same
+  // draw, so widening under backpressure stays deterministic.
+  const u64 h = mix64(options_.seed ^ mix64(batch ^ 0x1D6E57));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+  const double jittered = nominal * (0.9 + 0.2 * u);
+  return std::max<u64>(1, static_cast<u64>(jittered));
+}
+
+std::vector<fim::Transaction> TransactionSource::take(u64 n) {
+  const auto& all = db_.transactions();
+  std::vector<fim::Transaction> out;
+  out.reserve(n);
+  for (u64 i = 0; i < n; ++i) {
+    out.push_back(all[(offset_ + i) % all.size()]);
+  }
+  offset_ += n;
+  return out;
+}
+
+}  // namespace yafim::stream

@@ -1,0 +1,61 @@
+// Deterministic windowed transaction source for the streaming miner.
+//
+// Models a continuous ingest feed over a finite generated dataset: the
+// stream is the dataset replayed in order, wrapping around, with a seeded
+// +-10% jitter on how many transactions arrive per batch window. Everything
+// is a pure function of (dataset, options, absolute offset), which is the
+// property the exactly-once story rests on: after a crash, the miner
+// rebuilds its ingest history by replaying the source from offset 0 -- no
+// receiver state needs to survive the kill.
+#pragma once
+
+#include <vector>
+
+#include "fim/dataset.h"
+#include "util/common.h"
+
+namespace yafim::stream {
+
+struct SourceOptions {
+  /// Nominal batch window, in simulated seconds.
+  double window_s = 5.0;
+  /// Mean ingest rate, transactions per simulated second.
+  double ingest_rate = 2000.0;
+  /// Seed for the per-window arrival jitter.
+  u64 seed = 42;
+};
+
+class TransactionSource {
+ public:
+  TransactionSource(fim::TransactionDB db, SourceOptions options);
+
+  /// Transactions arriving in batch `batch` when the batch spans
+  /// `window_factor` nominal windows. Deterministic: nominal count
+  /// (window_s * ingest_rate * window_factor) with +-10% seeded jitter,
+  /// never zero. Pure -- does not advance the source.
+  u64 window_count(u64 batch, u32 window_factor) const;
+
+  /// Next `n` transactions in arrival order (wraps around the dataset);
+  /// advances the absolute offset.
+  std::vector<fim::Transaction> take(u64 n);
+
+  /// Reposition to an absolute offset (0 = stream start). Replaying
+  /// seek(0) + take(k) always yields the same k transactions.
+  void seek(u64 offset) { offset_ = offset; }
+  u64 offset() const { return offset_; }
+
+  /// Serialized bytes of one arriving transaction (WAL pricing).
+  static u64 transaction_bytes(const fim::Transaction& t) {
+    return 8 + 4 * t.size();  // length prefix + items
+  }
+
+  u64 dataset_size() const { return db_.size(); }
+  const fim::TransactionDB& db() const { return db_; }
+
+ private:
+  fim::TransactionDB db_;
+  SourceOptions options_;
+  u64 offset_ = 0;
+};
+
+}  // namespace yafim::stream

@@ -147,6 +147,27 @@ TEST(Checkpoint, DirStoreRoundTripAndTmpFilter) {
   EXPECT_EQ(store.list(), (std::vector<std::string>{"pass-0002.ck"}));
 }
 
+TEST(Checkpoint, DirStoreSweepsOrphanedTmpFilesOnOpen) {
+  // A crash between tmp-write and rename leaves a *.tmp orphan on disk
+  // forever (each put() uses a fresh name). Opening the store must sweep
+  // such orphans -- and must never have offered them as snapshots.
+  const std::string dir = fresh_dir("ck_tmp_sweep");
+  {
+    DirCheckpointStore store(dir);
+    store.put("pass-0001.ck", {1, 2, 3});
+  }
+  const stdfs::path orphan = stdfs::path(dir) / "pass-0002.ck.tmp";
+  std::ofstream(orphan) << "torn half-written snapshot";
+  ASSERT_TRUE(stdfs::exists(orphan));
+
+  DirCheckpointStore reopened(dir);
+  EXPECT_FALSE(stdfs::exists(orphan)) << "orphaned .tmp not swept on open";
+  // The real snapshot survives the sweep; the orphan was never listed.
+  EXPECT_EQ(reopened.list(), (std::vector<std::string>{"pass-0001.ck"}));
+  EXPECT_EQ(reopened.get("pass-0001.ck"), (std::vector<u8>{1, 2, 3}));
+  EXPECT_FALSE(reopened.get("pass-0002.ck").has_value());
+}
+
 TEST(Checkpoint, LoadLatestSkipsDamagedTail) {
   DirCheckpointStore store(fresh_dir("ck_damaged_tail"));
   CheckpointState state = sample_state();

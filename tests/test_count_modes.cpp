@@ -271,6 +271,44 @@ TEST(CountModes, CountersReproducibleUnderFaultInjection) {
   }
 }
 
+TEST(CountModes, BitIdenticalUnderComposedMemShrinkAndTaskFailures) {
+  // Two fault axes in the SAME run: a mid-run executor-memory shrink (which
+  // flips later passes to the partitioned candidate store) composed with
+  // task-failure injection (which perturbs the retry schedule). Every mode
+  // must still produce the clean run's exact itemsets -- the degraded
+  // counting path and the retried tasks may not interact destructively.
+  const auto db = random_db(14, 200, 0.4, 19);
+  const auto clean = run_yafim(db, CountMode::kItemsetKey, 1);
+  ASSERT_GT(clean.itemsets.total(), 0u);
+
+  for (u64 seed : {101ull, 211ull}) {
+    for (CountMode mode : kAllModes) {
+      auto copts = small_cluster();
+      copts.fault.seed = seed;
+      copts.fault.task_failure_p = 0.08;
+      copts.fault.mem_shrink_pass = 2;
+      copts.fault.mem_shrink_factor = 1e-9;
+      copts.fault.mem_shrink_node = 1;
+
+      engine::Context ctx(copts);
+      simfs::SimFS fs(ctx.cluster());
+      YafimOptions opt;
+      opt.min_support = 0.2;
+      opt.count_mode = mode;
+      const auto run = yafim_mine(ctx, fs, db, opt);
+      EXPECT_TRUE(run.itemsets.same_itemsets(clean.itemsets))
+          << count_mode_name(mode) << " seed=" << seed;
+      // Both axes actually fired.
+      EXPECT_GT(ctx.memory_budget().mem_shrinks_applied(), 0u)
+          << count_mode_name(mode) << " seed=" << seed;
+      EXPECT_GT(ctx.fault_injector().task_retries(), 0u)
+          << count_mode_name(mode) << " seed=" << seed;
+      EXPECT_GT(ctx.memory_budget().broadcast_fallbacks(), 0u)
+          << count_mode_name(mode) << " seed=" << seed;
+    }
+  }
+}
+
 // ---- sum_arrays ---------------------------------------------------------
 
 TEST(SumArrays, ElementwiseSumAcrossPartitions) {

@@ -440,5 +440,60 @@ TEST(FaultInjection, YafimMinesIdenticalItemsetsUnderInjection) {
             b.fault_injector().speculative_launches());
 }
 
+// ---- strict env parsing -------------------------------------------------
+// A typo'd YAFIM_FAULT_* value used to atof/strtoull to zero, silently
+// disabling the axis: the injection lane would pass CI while testing
+// nothing. Every malformed value must now die with a structured one-liner.
+
+TEST(FaultEnvDeathTest, MalformedValuesAreRejectedPerAxis) {
+  struct Case {
+    const char* var;
+    const char* value;
+  };
+  const Case cases[] = {
+      {"YAFIM_FAULT_SEED", "12q"},
+      {"YAFIM_FAULT_TASK_FAILURE_P", "banana"},
+      {"YAFIM_FAULT_TASK_FAILURE_P", "-0.1"},
+      {"YAFIM_FAULT_TASK_FAILURE_P", "1.5"},
+      {"YAFIM_FAULT_STRAGGLER_P", "2"},
+      {"YAFIM_FAULT_STRAGGLER_SLOWDOWN", "-3"},
+      {"YAFIM_FAULT_MAX_TASK_ATTEMPTS", "three"},
+      {"YAFIM_FAULT_MAX_STAGE_ATTEMPTS", "-1"},
+      {"YAFIM_FAULT_BLACKLIST_AFTER", "2.5"},
+      {"YAFIM_FAULT_SPECULATION_MULTIPLE", "fast"},
+      {"YAFIM_FAULT_MEM_SHRINK_PASS", "-2"},
+      {"YAFIM_FAULT_MEM_SHRINK_FACTOR", "1.5"},
+      {"YAFIM_FAULT_MEM_SHRINK_FACTOR", "lots"},
+      {"YAFIM_FAULT_MEM_SHRINK_NODE", "node1"},
+      {"YAFIM_FAULT_STREAM_KILL_BATCH", "x9"},
+      {"YAFIM_FAULT_STREAM_KILL_PHASE", "-1"},
+      {"YAFIM_FAULT_STREAM_SEED", "12abc"},
+      {"YAFIM_FAULT_CORRUPT_BLOCK_P", "often"},
+      {"YAFIM_FAULT_CORRUPT_CACHED_P", "1.01"},
+  };
+  for (const Case& c : cases) {
+    ASSERT_EQ(setenv(c.var, c.value, 1), 0);
+    EXPECT_DEATH((void)FaultProfile::from_env(), "rejected")
+        << c.var << "=" << c.value;
+    unsetenv(c.var);
+  }
+}
+
+TEST(FaultEnv, WellFormedValuesStillParse) {
+  ASSERT_EQ(setenv("YAFIM_FAULT_TASK_FAILURE_P", "0.25", 1), 0);
+  ASSERT_EQ(setenv("YAFIM_FAULT_STREAM_KILL_BATCH", "7", 1), 0);
+  ASSERT_EQ(setenv("YAFIM_FAULT_STREAM_KILL_PHASE", "3", 1), 0);
+  ASSERT_EQ(setenv("YAFIM_FAULT_STREAM_SEED", "99", 1), 0);
+  const FaultProfile p = FaultProfile::from_env();
+  EXPECT_DOUBLE_EQ(p.task_failure_p, 0.25);
+  EXPECT_EQ(p.stream_kill_batch, 7u);
+  EXPECT_EQ(p.stream_kill_phase, 3u);
+  EXPECT_EQ(p.stream_seed, 99u);
+  unsetenv("YAFIM_FAULT_TASK_FAILURE_P");
+  unsetenv("YAFIM_FAULT_STREAM_KILL_BATCH");
+  unsetenv("YAFIM_FAULT_STREAM_KILL_PHASE");
+  unsetenv("YAFIM_FAULT_STREAM_SEED");
+}
+
 }  // namespace
 }  // namespace yafim::engine
