@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "common.h"
+#include "fim/sampling.h"
 #include "fim/spc_fpc_dpc.h"
 #include "stream/miner.h"
 
@@ -208,6 +209,60 @@ int main(int argc, char** argv) {
     json.add("stream_interval_s:" + bench.name, 0.0, res.ingest_interval_s);
   }
   print_table(stream_table, args);
+
+  std::printf("\n-- Approximate mining (Toivonen sampling, fim/sampling.h): "
+              "recall vs speed against exact YAFIM; precision is always 1 "
+              "(verified supports) --\n");
+  Table approx_table({"dataset", "p", "relax", "total(s)", "speedup",
+                      "recall", "exact", "candidates", "border"});
+  for (const auto& bench : benches) {
+    engine::Context xctx(
+        engine::Context::Options{.cluster = sim::ClusterConfig::paper()});
+    simfs::SimFS xfs(xctx.cluster());
+    fim::YafimOptions xopt;
+    xopt.min_support = bench.paper_min_support;
+    const auto exact_run = fim::yafim_mine(xctx, xfs, bench.db, xopt);
+    const double exact_s = exact_run.total_seconds();
+    json.add("approx_exact_sim_s:" + bench.name, 0.0, exact_s);
+
+    double x = 0.0;
+    for (const auto& [p, r] :
+         {std::pair{0.1, 0.5}, std::pair{0.2, 0.5}, std::pair{0.2, 0.8},
+          std::pair{0.5, 1.0}}) {
+      engine::Context ctx(
+          engine::Context::Options{.cluster = sim::ClusterConfig::paper()});
+      simfs::SimFS fs(ctx.cluster());
+      fim::SamplingOptions opt;
+      opt.min_support = bench.paper_min_support;
+      opt.sample_fraction = p;
+      opt.relax = r;
+      const auto sres = fim::sampling_mine(ctx, fs, bench.db, opt);
+      // Soundness invariant, not a tolerance: every verified itemset must
+      // be in the exact answer with the exact support.
+      for (u32 k = 1; k <= sres.run.itemsets.max_k(); ++k) {
+        for (const auto& [itemset, support] : sres.run.itemsets.level(k)) {
+          YAFIM_CHECK(exact_run.itemsets.support_of(itemset) == support,
+                      "approximate output disagrees with the exact miner");
+        }
+      }
+      const double total = sres.run.total_seconds();
+      const double recall =
+          exact_run.itemsets.total() == 0
+              ? 1.0
+              : static_cast<double>(sres.run.itemsets.total()) /
+                    static_cast<double>(exact_run.itemsets.total());
+      approx_table.add_row(
+          {bench.name, Table::num(p, 2), Table::num(r, 2), Table::num(total),
+           Table::num(exact_s / total, 2) + "x", Table::num(recall, 4),
+           sres.exact ? "yes" : "no", Table::num(sres.candidate_union),
+           Table::num(sres.border_union)});
+      json.add("approx_sim_s:" + bench.name, x, total);
+      json.add("approx_recall:" + bench.name, x, recall);
+      json.add("approx_exact:" + bench.name, x, sres.exact ? 1.0 : 0.0);
+      x += 1.0;
+    }
+  }
+  print_table(approx_table, args);
 
   std::printf("\n-- MapReduce job-combining strategies (Lin et al.) --\n");
   Table lin_table({"dataset", "strategy", "jobs", "speculative C",

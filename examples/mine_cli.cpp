@@ -33,6 +33,7 @@
 #include "fim/fp_growth.h"
 #include "fim/mr_apriori.h"
 #include "fim/rules.h"
+#include "fim/sampling.h"
 #include "fim/yafim.h"
 #include "obs/trace.h"
 #include "stream/miner.h"
@@ -95,6 +96,13 @@ struct Options {
   double stream_window_s = 5.0;
   double stream_rate = 2000.0;
   u64 stream_seed = 42;
+  /// Approximate mining (fim/sampling.h): mine Bernoulli samples at a
+  /// relaxed threshold, verify candidates + negative borders in one full
+  /// pass, and report Toivonen's exactness certificate.
+  bool approx = false;
+  double sample_fraction = 0.1;
+  u64 approx_samples = 4;
+  double relax = 0.5;
 };
 
 /// All flag errors funnel through here: say what was wrong, show the
@@ -114,6 +122,7 @@ struct Options {
       "          [--shuffle-buffer-mb=N] [--spill-compress=0|1]\n"
       "          [--stream] [--stream-batches=N] [--stream-window-s=F]\n"
       "          [--stream-rate=F] [--stream-seed=N]\n"
+      "          [--approx] [--sample-fraction=F] [--samples=N] [--relax=F]\n"
       "generate names: mushroom t10 chess pumsb medical\n"
       "--lenient: skip + count malformed --input lines instead of\n"
       "  silently taking each line's numeric prefix\n"
@@ -145,6 +154,15 @@ struct Options {
       "  for --stream-batches batches, maintaining L1/Lk incrementally with\n"
       "  batch-boundary snapshots (--checkpoint-dir) and backpressure.\n"
       "  A YAFIM_FAULT_STREAM_* kill exits 9; rerun to resume\n"
+      "--approx: approximate mining by Toivonen sampling (yafim only):\n"
+      "  mine --samples=N (default 4) Bernoulli samples of fraction\n"
+      "  --sample-fraction=F (default 0.1) at the relaxed threshold\n"
+      "  minsup * --relax=R (default 0.5), then verify the candidate\n"
+      "  union plus every sample's negative border in ONE full counting\n"
+      "  pass -- two full-data passes total, any lattice depth. Prints a\n"
+      "  '# approx:' line with the certificate: exact=true means the\n"
+      "  output is provably the complete exact answer; otherwise\n"
+      "  border_survivors and miss_bound quantify what may be missing\n"
       "exit codes: 0 success; 2 bad flags; 3 --lint=error diagnostic;\n"
       "  9 stream killed at an injected kill point\n",
       argv0);
@@ -225,6 +243,14 @@ Options parse(int argc, char** argv) {
       opt.stream_rate = std::atof(value("--stream-rate="));
     } else if (arg.rfind("--stream-seed=", 0) == 0) {
       opt.stream_seed = std::strtoull(value("--stream-seed="), nullptr, 10);
+    } else if (arg == "--approx") {
+      opt.approx = true;
+    } else if (arg.rfind("--sample-fraction=", 0) == 0) {
+      opt.sample_fraction = std::atof(value("--sample-fraction="));
+    } else if (arg.rfind("--samples=", 0) == 0) {
+      opt.approx_samples = std::strtoull(value("--samples="), nullptr, 10);
+    } else if (arg.rfind("--relax=", 0) == 0) {
+      opt.relax = std::atof(value("--relax="));
     } else if (arg.rfind("--spill-compress=", 0) == 0) {
       const std::string v = value("--spill-compress=");
       if (v != "0" && v != "1") {
@@ -292,6 +318,30 @@ Options parse(int argc, char** argv) {
                      opt.stream_rate <= 0.0)) {
     usage(argv[0], "--stream-batches/--stream-window-s/--stream-rate "
                    "must be positive");
+  }
+  if (opt.approx && opt.engine != "yafim") {
+    usage(argv[0], "--approx requires --engine=yafim");
+  }
+  if (opt.approx && opt.stream) {
+    usage(argv[0], "--approx and --stream are mutually exclusive");
+  }
+  if (opt.approx && !opt.checkpoint_dir.empty()) {
+    usage(argv[0], "--checkpoint-dir is not supported with --approx "
+                   "(the run has no per-pass snapshots)");
+  }
+  if (!opt.approx && (opt.sample_fraction != 0.1 || opt.approx_samples != 4 ||
+                      opt.relax != 0.5)) {
+    usage(argv[0], "--sample-fraction/--samples/--relax require --approx");
+  }
+  if (opt.approx &&
+      (opt.sample_fraction <= 0.0 || opt.sample_fraction > 1.0)) {
+    usage(argv[0], "--sample-fraction must be in (0, 1]");
+  }
+  if (opt.approx && (opt.relax <= 0.0 || opt.relax > 1.0)) {
+    usage(argv[0], "--relax must be in (0, 1]");
+  }
+  if (opt.approx && (opt.approx_samples == 0 || opt.approx_samples > 64)) {
+    usage(argv[0], "--samples must be in [1, 64]");
   }
   return opt;
 }
@@ -455,6 +505,30 @@ int main(int argc, char** argv) {
             (unsigned long long)sres.resumed_batch);
       }
       run.itemsets = std::move(sres.itemsets);
+    } else if (opt.approx) {
+      fim::SamplingOptions mine_opt;
+      mine_opt.min_support = opt.minsup;
+      mine_opt.sample_fraction = opt.sample_fraction;
+      mine_opt.num_samples = static_cast<u32>(opt.approx_samples);
+      mine_opt.relax = opt.relax;
+      mine_opt.cache_transactions = !opt.no_cache;
+      mine_opt.broadcast_mode = bmode;
+      fim::SamplingRun sres = fim::sampling_mine(ctx, fs, db, mine_opt);
+      // Printed even under --quiet: the CI approx-smoke lane greps
+      // exact=/border_survivors= out of this line, and the negative
+      // control asserts the certificate is refused.
+      std::printf(
+          "# approx: samples=%llu fraction=%g relax=%g candidates=%llu "
+          "border=%llu verified=%llu false=%llu border_survivors=%llu "
+          "exact=%s miss_bound=%.3g\n",
+          (unsigned long long)opt.approx_samples, opt.sample_fraction,
+          opt.relax, (unsigned long long)sres.candidate_union,
+          (unsigned long long)sres.border_union,
+          (unsigned long long)sres.run.itemsets.total(),
+          (unsigned long long)sres.false_candidates,
+          (unsigned long long)sres.border_survivors,
+          sres.exact ? "true" : "false", sres.miss_bound);
+      run = std::move(sres.run);
     } else if (opt.engine == "yafim") {
       fim::YafimOptions mine_opt;
       mine_opt.min_support = opt.minsup;

@@ -5,7 +5,7 @@ Compares a fresh BENCH_countmode.json (bench_ablation --json output) against
 the checked-in baseline (bench/baselines/BENCH_countmode_baseline.json,
 generated at the same --scale as the CI run) and fails on regression.
 
-Four checks, tuned to what each quantity can promise:
+Five checks, tuned to what each quantity can promise:
 
 1. intra-run sim:   the fast counting modes (candidate_id x=1,
                     vertical_bitmap x=2) must price their pass>=2 counting
@@ -31,6 +31,13 @@ Four checks, tuned to what each quantity can promise:
                     functional regression regardless of the baseline --
                     and (b) not exceed the baseline steady-state latency
                     beyond the deterministic sim tolerance.
+5. approx:          the Toivonen-sampling grid ('approx_*:<dataset>'
+                    series) is seeded and fully deterministic, so all
+                    three quantities gate tight: simulated seconds per
+                    config within the sim tolerance of the baseline,
+                    recall never below the baseline's, and the exactness
+                    certificate never lost (an x that was exact=1 in the
+                    baseline must stay 1).
 
 Usage:
   perf_gate.py CURRENT.json BASELINE.json [--sim-tol 1.02] [--ratio-band 0.5]
@@ -199,6 +206,48 @@ def main():
         check(steady <= base_steady * args.sim_tol,
               f"{dataset} stream: steady batch sim {steady:.3f}s vs "
               f"baseline {base_steady:.3f}s (tol x{args.sim_tol})")
+
+    # 5. approximate-mining (Toivonen sampling) gate.
+    cur_asim = series_by_dataset(current, "approx_sim_s", args.current)
+    cur_arec = series_by_dataset(current, "approx_recall", args.current)
+    cur_aex = series_by_dataset(current, "approx_exact", args.current)
+    base_asim = series_by_dataset(baseline, "approx_sim_s", args.baseline)
+    base_arec = series_by_dataset(baseline, "approx_recall", args.baseline)
+    base_aex = series_by_dataset(baseline, "approx_exact", args.baseline)
+    if base_asim and not cur_asim:
+        fail(f"{args.current}: baseline has 'approx_sim_s:*' series but the "
+             "current run does not (bench_ablation too old?)")
+    for dataset in sorted(cur_asim):
+        sim = cur_asim[dataset]
+        if dataset not in base_asim:
+            print(f"note {dataset} approx: not in baseline, skipped")
+            continue
+        bsim = base_asim[dataset]
+        for x in sorted(sim):
+            if x not in bsim:
+                fail(f"{args.baseline}: series 'approx_sim_s:{dataset}' has "
+                     f"no x={x} point -- regenerate the baseline at the "
+                     "current sampling-config grid")
+            check(sim[x] <= bsim[x] * args.sim_tol,
+                  f"{dataset} approx x={x}: sim {sim[x]:.2f}s vs baseline "
+                  f"{bsim[x]:.2f}s (tol x{args.sim_tol})")
+        rec = cur_arec.get(dataset, {})
+        brec = base_arec.get(dataset, {})
+        for x in sorted(rec):
+            if x not in brec:
+                continue
+            # Seeded + deterministic: recall must not drop at all.
+            check(rec[x] >= brec[x] - 1e-9,
+                  f"{dataset} approx x={x}: recall {rec[x]:.4f} vs baseline "
+                  f"{brec[x]:.4f} (must not drop)")
+        ex = cur_aex.get(dataset, {})
+        bex = base_aex.get(dataset, {})
+        for x in sorted(ex):
+            if x not in bex:
+                continue
+            check(ex[x] >= bex[x] - 1e-9,
+                  f"{dataset} approx x={x}: exact={ex[x]:.0f} vs baseline "
+                  f"exact={bex[x]:.0f} (certificate must not be lost)")
 
     if failures:
         print(f"\nperf gate: {len(failures)} regression(s)")

@@ -396,6 +396,64 @@ class SampleNode final : public Node<T> {
   u64 seed_;
 };
 
+/// One-pass multi-sampling: tags each element with the ids of the samples
+/// that keep it, so `n` Bernoulli(fraction) samples (or `n` disjoint
+/// splits) are drawn in a single scan of the parent. Each (partition,
+/// sample) pair gets its own Rng stream, so sample s's membership is
+/// independent of how many sibling samples are drawn alongside it and
+/// deterministic in (seed, pid) alone.
+template <typename T>
+class MultiSampleNode final : public Node<std::pair<u32, T>> {
+ public:
+  MultiSampleNode(std::shared_ptr<Node<T>> parent, u32 n, double fraction,
+                  u64 seed, bool disjoint)
+      : Node<std::pair<u32, T>>(parent->ctx(), parent->num_partitions()),
+        parent_(std::move(parent)),
+        n_(n),
+        fraction_(fraction),
+        seed_(seed),
+        disjoint_(disjoint) {
+    YAFIM_CHECK(n_ > 0, "multi-sample needs at least one sample");
+    this->lint_register(PlanOp::kSample, {parent_->id()});
+  }
+
+  std::vector<std::pair<u32, T>> compute(u32 pid) override {
+    auto in = parent_->get(pid);
+    std::vector<std::pair<u32, T>> out;
+    if (disjoint_) {
+      // Round-robin split assignment, offset by pid so split 0 does not
+      // collect every partition's first element. Exactly one split per
+      // element: the splits partition the parent.
+      out.reserve(in->size());
+      u64 j = 0;
+      for (const T& x : *in) {
+        work::add(1);
+        out.emplace_back(static_cast<u32>((pid + j++) % n_), x);
+      }
+      return out;
+    }
+    std::vector<Rng> streams;
+    streams.reserve(n_);
+    for (u32 s = 0; s < n_; ++s) {
+      streams.push_back(Rng(seed_).split(pid).split(s));
+    }
+    for (const T& x : *in) {
+      work::add(1);
+      for (u32 s = 0; s < n_; ++s) {
+        if (streams[s].bernoulli(fraction_)) out.emplace_back(s, x);
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::shared_ptr<Node<T>> parent_;
+  u32 n_;
+  double fraction_;
+  u64 seed_;
+  bool disjoint_;
+};
+
 template <typename T>
 class CoalesceNode final : public Node<T> {
  public:
@@ -731,6 +789,23 @@ class RDD {
   RDD<T> sample(double fraction, u64 seed) const {
     return RDD<T>(
         std::make_shared<detail::SampleNode<T>>(node_, fraction, seed));
+  }
+
+  /// Draw `n` independent Bernoulli(fraction) samples in one pass over the
+  /// data: emits (sample_id, element) for every sample that keeps the
+  /// element. Deterministic in (seed, partition); each sample's membership
+  /// is independent of its siblings'.
+  RDD<std::pair<u32, T>> sample_each(u32 n, double fraction, u64 seed) const {
+    return RDD<std::pair<u32, T>>(std::make_shared<detail::MultiSampleNode<T>>(
+        node_, n, fraction, seed, /*disjoint=*/false));
+  }
+
+  /// Deterministically scatter elements round-robin into `n` disjoint
+  /// splits: emits (split_id, element) with every element in exactly one
+  /// split (the SON "mapper split" shape, without a shuffle).
+  RDD<std::pair<u32, T>> disjoint_splits(u32 n) const {
+    return RDD<std::pair<u32, T>>(std::make_shared<detail::MultiSampleNode<T>>(
+        node_, n, /*fraction=*/1.0, /*seed=*/0, /*disjoint=*/true));
   }
 
   // --- pair-RDD operations --------------------------------------------

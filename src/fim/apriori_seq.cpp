@@ -10,7 +10,9 @@ namespace yafim::fim {
 
 MiningRun apriori_mine(const TransactionDB& db,
                        const AprioriOptions& options) {
-  const u64 min_count = db.min_support_count(options.min_support);
+  const u64 min_count = options.min_count
+                            ? options.min_count
+                            : db.min_support_count(options.min_support);
   MiningRun run;
   run.itemsets = FrequentItemsets(min_count, db.size());
 

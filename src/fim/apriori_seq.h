@@ -12,6 +12,11 @@ namespace yafim::fim {
 struct AprioriOptions {
   /// Relative minimum support threshold in (0, 1].
   double min_support = 0.1;
+  /// Absolute support threshold; 0 derives it from min_support via
+  /// min_count_ceil (fim/dataset.h). The two-phase miners (son, sampling)
+  /// set this explicitly so their local thresholds are computed by the one
+  /// shared ceil helper rather than re-rounded per chunk.
+  u64 min_count = 0;
   /// Use the candidate hash tree for subset enumeration (the paper's
   /// choice); false falls back to a linear candidate scan (ablation).
   bool use_hash_tree = true;

@@ -9,6 +9,12 @@
 
 namespace yafim::fim {
 
+u64 min_count_ceil(double frac, u64 n) {
+  const double raw = frac * static_cast<double>(n);
+  const u64 count = static_cast<u64>(std::ceil(raw - 1e-9));
+  return std::max<u64>(count, 1);
+}
+
 TransactionDB::TransactionDB(std::vector<Transaction> transactions)
     : tx_(std::move(transactions)) {
 #ifndef NDEBUG
@@ -46,9 +52,7 @@ DatasetStats TransactionDB::stats() const {
 u64 TransactionDB::min_support_count(double min_support_frac) const {
   YAFIM_CHECK(min_support_frac > 0.0 && min_support_frac <= 1.0,
               "relative support must be in (0, 1]");
-  const double raw = min_support_frac * static_cast<double>(tx_.size());
-  u64 count = static_cast<u64>(std::ceil(raw - 1e-9));
-  return std::max<u64>(count, 1);
+  return min_count_ceil(min_support_frac, tx_.size());
 }
 
 u64 TransactionDB::support(const Itemset& s) const {

@@ -13,6 +13,16 @@
 
 namespace yafim::fim {
 
+/// Absolute support threshold for a relative one: ceil(frac * n), floored
+/// at 1, with an epsilon guard so exact products (0.2 * 10) do not round up
+/// through float noise. Every miner derives its thresholds through this one
+/// helper -- the SON completeness proof and the sampling miner's relaxed
+/// local thresholds both assume *ceil* semantics (a floor would admit
+/// itemsets below frac into local results, inflating candidate unions
+/// without any exactness payoff), so the rounding is pinned here and
+/// regression-tested rather than re-derived inline at each call site.
+u64 min_count_ceil(double frac, u64 n);
+
 /// What the text parser saw. All-zero unless the DB came from from_text();
 /// the malformed counters stay zero in strict mode (which never skips).
 struct ParseStats {

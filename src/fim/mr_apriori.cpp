@@ -60,11 +60,7 @@ MiningRun mr_apriori_mine(engine::Context& ctx, simfs::SimFS& fs,
     run.itemsets = FrequentItemsets(1, 0);
     return run;
   }
-  // Same threshold arithmetic as TransactionDB::min_support_count().
-  const u64 min_count = static_cast<u64>(std::max<double>(
-      1.0, std::ceil(options.min_support *
-                         static_cast<double>(num_transactions) -
-                     1e-9)));
+  const u64 min_count = min_count_ceil(options.min_support, num_transactions);
   run.itemsets = FrequentItemsets(min_count, num_transactions);
 
   // Checkpoint/resume (same contract as yafim.cpp): snapshots are bound to

@@ -1,6 +1,7 @@
 #include "fim/rules.h"
 
 #include <algorithm>
+#include <string>
 
 #include "engine/broadcast.h"
 #include "engine/bytes_of.h"
@@ -26,16 +27,36 @@ void rules_of_itemset(const Itemset& itemset, u64 support,
         consequent.push_back(itemset[bit]);
       }
     }
-    // Antecedents of frequent itemsets are themselves frequent
-    // (monotonicity), so the lookup always succeeds.
+    // Exact miners guarantee both subset lookups succeed (monotonicity);
+    // approximate or hand-built collections may not, and each failure mode
+    // would otherwise produce a divide-by-zero or an abort.
     const u64 antecedent_support = all.support_of(antecedent);
-    YAFIM_CHECK(antecedent_support >= support,
-                "support monotonicity violated");
+    if (antecedent_support == 0) {
+      throw RuleError(RuleErrorKind::kMissingAntecedent, antecedent,
+                      "rule generation: antecedent " + to_string(antecedent) +
+                          " of " + to_string(itemset) +
+                          " is not in the itemset collection (collection is "
+                          "not downward-closed)");
+    }
+    if (antecedent_support < support) {
+      throw RuleError(RuleErrorKind::kSupportInversion, antecedent,
+                      "rule generation: sup(" + to_string(antecedent) + ")=" +
+                          std::to_string(antecedent_support) + " < sup(" +
+                          to_string(itemset) + ")=" + std::to_string(support) +
+                          " (supports are not monotone)");
+    }
     const double confidence = static_cast<double>(support) /
                               static_cast<double>(antecedent_support);
     if (confidence + 1e-12 < min_confidence) continue;
 
     const u64 consequent_support = all.support_of(consequent);
+    if (consequent_support == 0) {
+      throw RuleError(RuleErrorKind::kMissingConsequent, consequent,
+                      "rule generation: consequent " + to_string(consequent) +
+                          " of " + to_string(itemset) +
+                          " is not in the itemset collection (collection is "
+                          "not downward-closed)");
+    }
     const double lift =
         confidence /
         (static_cast<double>(consequent_support) / num_transactions);

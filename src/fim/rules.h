@@ -4,6 +4,8 @@
 // sup(A ∪ B) / sup(A) and lift conf / (sup(B) / |D|).
 #pragma once
 
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "engine/bytes_of.h"
@@ -11,6 +13,41 @@
 #include "fim/result.h"
 
 namespace yafim::fim {
+
+/// Why rule generation rejected an itemset collection. Exact miners always
+/// produce downward-closed collections with monotone supports, but rule
+/// generation is also run over approximate results (fim/sampling.h) and
+/// hand-assembled tables, where a subset can be missing or carry a smaller
+/// support than its superset -- both of which would otherwise surface as a
+/// divide-by-zero confidence/lift or a process abort.
+enum class RuleErrorKind {
+  /// An antecedent of a frequent itemset is not in the collection
+  /// (support_of == 0): confidence would divide by zero.
+  kMissingAntecedent,
+  /// A consequent is not in the collection: lift would divide by zero.
+  kMissingConsequent,
+  /// sup(antecedent) < sup(itemset): confidence would exceed 1 -- the
+  /// collection's supports are not monotone.
+  kSupportInversion,
+};
+
+/// Structured error for rule generation over a non-downward-closed or
+/// non-monotone itemset collection, following the EngineError/SimFSError
+/// convention: typed + catchable, never an abort on bad input.
+class RuleError : public std::runtime_error {
+ public:
+  RuleError(RuleErrorKind kind, Itemset itemset, const std::string& what)
+      : std::runtime_error(what), kind_(kind), itemset_(std::move(itemset)) {}
+
+  RuleErrorKind kind() const { return kind_; }
+  /// The offending subset (the missing one, or the one whose support is
+  /// below its superset's).
+  const Itemset& itemset() const { return itemset_; }
+
+ private:
+  RuleErrorKind kind_;
+  Itemset itemset_;
+};
 
 struct Rule {
   Itemset antecedent;

@@ -46,10 +46,7 @@ SonRun son_mine(engine::Context& ctx, simfs::SimFS& fs,
     run.itemsets = FrequentItemsets(1, 0);
     return son;
   }
-  const u64 min_count = static_cast<u64>(std::max<double>(
-      1.0, std::ceil(options.min_support *
-                         static_cast<double>(num_transactions) -
-                     1e-9)));
+  const u64 min_count = min_count_ceil(options.min_support, num_transactions);
   run.itemsets = FrequentItemsets(min_count, num_transactions);
 
   // ---- Job 1: local Apriori per split, emit locally frequent itemsets --
@@ -65,6 +62,13 @@ SonRun son_mine(engine::Context& ctx, simfs::SimFS& fs,
         std::vector<Transaction>(split.begin(), split.end()));
     AprioriOptions opt;
     opt.min_support = min_support;
+    // Local threshold rounding pinned to *ceil*: the SON completeness
+    // argument is sum_i (ceil(s * n_i) - 1) < s * N, so ceil keeps every
+    // globally frequent itemset locally frequent somewhere while admitting
+    // the fewest false candidates. A floor here would not break
+    // completeness but silently inflates false_candidates on small or
+    // uneven splits (regression-tested in test_related_work.cpp).
+    opt.min_count = min_count_ceil(min_support, split.size());
     const MiningRun local_run = apriori_mine(chunk, opt);
     for (auto& [itemset, support] : local_run.itemsets.sorted()) {
       emit.emit(itemset, 1);

@@ -50,10 +50,7 @@ LinRun lin_mine(engine::Context& ctx, simfs::SimFS& fs,
     run.itemsets = FrequentItemsets(1, 0);
     return lin;
   }
-  const u64 min_count = static_cast<u64>(std::max<double>(
-      1.0, std::ceil(options.min_support *
-                         static_cast<double>(num_transactions) -
-                     1e-9)));
+  const u64 min_count = min_count_ceil(options.min_support, num_transactions);
   run.itemsets = FrequentItemsets(min_count, num_transactions);
 
   auto reduce_fn = [min_count](const Itemset& key, std::vector<u64>& values)

@@ -463,8 +463,7 @@ class StreamingMiner {
   // --- thresholds --------------------------------------------------------
 
   u64 min_support_count() const {
-    const double raw = options_.min_support * static_cast<double>(total_);
-    return std::max<u64>(static_cast<u64>(std::ceil(raw - 1e-9)), 1);
+    return fim::min_count_ceil(options_.min_support, total_);
   }
 
   /// Frontier-entry threshold under the current backpressure slack.

@@ -102,6 +102,35 @@ TEST(Son, EmptyDatabase) {
   EXPECT_EQ(son.run.itemsets.total(), 0u);
 }
 
+TEST(Son, LocalThresholdRoundsUpNotDown) {
+  // Each of the two contiguous splits holds 5 transactions: 2 x {1,2} and
+  // 3 x {1}. At MinSup 0.5 the local threshold is ceil(0.5 * 5) = 3
+  // (min_count_ceil, fim/dataset.h); a floor would be 2 and admit {2} and
+  // {1,2} (local count 2) into the candidate union. The result stays
+  // correct either way -- Job 2 filters them -- but the pinned ceil keeps
+  // the union minimal: exactly the one true itemset {1}.
+  std::vector<Transaction> tx;
+  for (int half = 0; half < 2; ++half) {
+    tx.push_back({1, 2});
+    tx.push_back({1, 2});
+    tx.push_back({1});
+    tx.push_back({1});
+    tx.push_back({1});
+  }
+  TransactionDB db(std::move(tx));
+  const auto ref = reference(db, 0.5);  // just {1}: sup 10
+
+  engine::Context ctx(small_cluster());
+  simfs::SimFS fs(ctx.cluster());
+  SonOptions opt;
+  opt.min_support = 0.5;
+  opt.num_mappers = 2;  // exactly the two 5-transaction splits
+  const auto son = son_mine(ctx, fs, db, opt);
+  EXPECT_TRUE(son.run.itemsets.same_itemsets(ref));
+  EXPECT_EQ(son.candidate_union, 1u);
+  EXPECT_EQ(son.false_candidates, 0u);
+}
+
 // ---------------- Dist-Eclat --------------------------------------------
 
 TEST(DistEclat, ExactOnRandomData) {

@@ -173,5 +173,74 @@ TEST(Rules, MaxItemsetSizeGuard) {
   EXPECT_DEATH(generate_rules(toy_itemsets(), opt), "exponential");
 }
 
+// ---- Structured errors on non-downward-closed / non-monotone input -----
+// Exact miners cannot produce these collections, but approximate results
+// (fim/sampling.h) and hand-built tables can; each case used to surface as
+// a divide-by-zero or an abort and must now throw a typed RuleError.
+
+TEST(Rules, MissingAntecedentThrowsTypedError) {
+  // {1,2} is present but its subset {1} is not: confidence would divide
+  // by sup({1}) = 0.
+  FrequentItemsets fi(2, 10);
+  fi.add({2}, 8);
+  fi.add({1, 2}, 4);
+  RuleOptions opt;
+  opt.min_confidence = 0.0;
+  try {
+    generate_rules(fi, opt);
+    FAIL() << "expected RuleError";
+  } catch (const RuleError& e) {
+    EXPECT_EQ(e.kind(), RuleErrorKind::kMissingAntecedent);
+    EXPECT_EQ(e.itemset(), (Itemset{1}));
+    EXPECT_NE(std::string(e.what()).find("downward-closed"),
+              std::string::npos);
+  }
+}
+
+TEST(Rules, SupportInversionThrowsTypedError) {
+  // sup({1}) = 5 < sup({1,2}) = 10: confidence would exceed 1.
+  FrequentItemsets fi(2, 20);
+  fi.add({1}, 5);
+  fi.add({2}, 20);
+  fi.add({1, 2}, 10);
+  RuleOptions opt;
+  opt.min_confidence = 0.0;
+  try {
+    generate_rules(fi, opt);
+    FAIL() << "expected RuleError";
+  } catch (const RuleError& e) {
+    EXPECT_EQ(e.kind(), RuleErrorKind::kSupportInversion);
+    EXPECT_EQ(e.itemset(), (Itemset{1}));
+  }
+}
+
+TEST(Rules, MissingConsequentThrowsTypedError) {
+  // Both antecedent lookups succeed, but lift of {1} => {2} needs
+  // sup({2}), which is absent. min_confidence = 0 so the confidence
+  // filter cannot hide the lookup.
+  FrequentItemsets fi(2, 10);
+  fi.add({1}, 10);
+  fi.add({1, 2}, 10);
+  RuleOptions opt;
+  opt.min_confidence = 0.0;
+  try {
+    generate_rules(fi, opt);
+    FAIL() << "expected RuleError";
+  } catch (const RuleError& e) {
+    EXPECT_EQ(e.kind(), RuleErrorKind::kMissingConsequent);
+    EXPECT_EQ(e.itemset(), (Itemset{2}));
+  }
+}
+
+TEST(Rules, ParallelPathPropagatesRuleError) {
+  FrequentItemsets fi(2, 10);
+  fi.add({2}, 8);
+  fi.add({1, 2}, 4);
+  RuleOptions opt;
+  opt.min_confidence = 0.0;
+  engine::Context ctx;
+  EXPECT_THROW(generate_rules_parallel(ctx, fi, opt), RuleError);
+}
+
 }  // namespace
 }  // namespace yafim::fim
