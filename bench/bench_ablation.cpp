@@ -178,6 +178,36 @@ int main(int argc, char** argv) {
   }
   print_table(countmode_table, args);
 
+  std::printf("\n-- Determinism sanitizer (engine/detsan.h): replay "
+              "overhead at the default sample rate vs off --\n");
+  Table detsan_table({"dataset", "detsan", "total(s)", "overhead",
+                      "replayed", "divergences"});
+  for (const auto& bench : benches) {
+    double base_s = 0.0;
+    for (const auto& [label, enabled, x] :
+         {std::tuple{"off", false, 0.0}, std::tuple{"on", true, 1.0}}) {
+      engine::Context::Options ctx_opt{.cluster = sim::ClusterConfig::paper()};
+      ctx_opt.detsan.enabled = enabled;
+      engine::Context ctx(ctx_opt);
+      simfs::SimFS fs(ctx.cluster());
+      fim::YafimOptions opt;
+      opt.min_support = bench.paper_min_support;
+      const auto run = fim::yafim_mine(ctx, fs, bench.db, opt);
+      const double total = run.total_seconds();
+      if (!enabled) base_s = total;
+      YAFIM_CHECK(ctx.detsan().divergences() == 0,
+                  "stock YAFIM must replay clean");
+      detsan_table.add_row(
+          {bench.name, label, Table::num(total),
+           Table::num(total / base_s, 3) + "x",
+           Table::num(ctx.detsan().tasks_replayed()),
+           Table::num(ctx.detsan().divergences())});
+      // perf_gate.py: series x=0 detsan off, x=1 on; on <= off * 1.10.
+      json.add("detsan_sim_s:" + bench.name, x, total);
+    }
+  }
+  print_table(detsan_table, args);
+
   std::printf("\n-- Streaming micro-batches: per-batch simulated latency vs "
               "ingest interval (stream/miner.h) --\n");
   Table stream_table({"dataset", "batches", "interval(s)", "steady batch(s)",

@@ -26,6 +26,8 @@
 
 #include "datagen/benchmarks.h"
 #include "engine/context.h"
+#include "engine/detsan.h"
+#include "engine/detsan_selftest.h"
 #include "engine/lint.h"
 #include "fim/apriori_seq.h"
 #include "fim/checkpoint.h"
@@ -74,6 +76,17 @@ struct Options {
   /// With --lint=error, any warn-or-worse diagnostic makes the process
   /// exit 3 (notes -- e.g. an engaged broadcast fallback -- do not).
   bool lint_error = false;
+  /// Determinism sanitizer (engine/detsan.h): re-execute a deterministic
+  /// sample of tasks with permuted input order, compare canonical output
+  /// hashes, and surface divergences as YL007 diagnostics plus
+  /// detsan.tasks_replayed / detsan.divergences counters.
+  bool detsan = false;
+  /// With --detsan=error, the first divergence aborts the run (exit 4).
+  bool detsan_error = false;
+  /// Run the committed impure-plan fixtures (engine/detsan_selftest.h)
+  /// instead of mining, at sample rate 1.0. The sanitizer must flag both;
+  /// the CI detsan lane uses this as its negative control.
+  bool detsan_selftest = false;
   /// Run YAFIM without caching the transactions RDD (the paper's "what if
   /// we didn't cache" ablation; trips lint rule YL001 by design).
   bool no_cache = false;
@@ -118,6 +131,7 @@ struct Options {
       "          [--lenient] [--trace FILE] [--checkpoint-dir=DIR]\n"
       "          [--stop-after-pass=K] [--pass-sleep-ms=N]\n"
       "          [--lint[=error]] [--no-cache]\n"
+      "          [--detsan[=error]] [--detsan-selftest]\n"
       "          [--broadcast-mode=auto|full|partitioned] [--memory-gb=F]\n"
       "          [--shuffle-buffer-mb=N] [--spill-compress=0|1]\n"
       "          [--stream] [--stream-batches=N] [--stream-window-s=F]\n"
@@ -140,6 +154,13 @@ struct Options {
       "  (yafim|mrapriori; notes such as an engaged fallback pass)\n"
       "--no-cache: skip caching the transactions RDD (yafim only; the\n"
       "  lineage re-reads HDFS every pass, and --lint reports YL001)\n"
+      "--detsan: determinism sanitizer (yafim|mrapriori; composes with\n"
+      "  --stream/--approx): re-execute a deterministic sample of tasks\n"
+      "  with permuted input order, compare canonical output hashes, and\n"
+      "  report divergences as YL007 (rule YL008 is the static layer,\n"
+      "  scripts/closure_check.sh). --detsan=error exits 4 on the first\n"
+      "  divergence; --detsan-selftest runs the committed impure fixtures\n"
+      "  instead of mining (they MUST diverge)\n"
       "--broadcast-mode: how candidate trees reach workers when memory is\n"
       "  tight (yafim|mrapriori). auto falls back to the partitioned\n"
       "  candidate store past the executor budget; full always broadcasts\n"
@@ -164,7 +185,8 @@ struct Options {
       "  output is provably the complete exact answer; otherwise\n"
       "  border_survivors and miss_bound quantify what may be missing\n"
       "exit codes: 0 success; 2 bad flags; 3 --lint=error diagnostic;\n"
-      "  9 stream killed at an injected kill point\n",
+      "  4 --detsan=error divergence; 9 stream killed at an injected kill\n"
+      "  point\n",
       argv0);
   std::exit(2);
 }
@@ -223,6 +245,16 @@ Options parse(int argc, char** argv) {
       opt.lint_error = true;
     } else if (arg.rfind("--lint=", 0) == 0) {
       usage(argv[0], "--lint takes no value other than 'error'");
+    } else if (arg == "--detsan") {
+      opt.detsan = true;
+    } else if (arg == "--detsan=error") {
+      opt.detsan = true;
+      opt.detsan_error = true;
+    } else if (arg.rfind("--detsan=", 0) == 0) {
+      usage(argv[0], "--detsan takes no value other than 'error'");
+    } else if (arg == "--detsan-selftest") {
+      opt.detsan_selftest = true;
+      opt.detsan = true;
     } else if (arg == "--no-cache") {
       opt.no_cache = true;
     } else if (arg.rfind("--broadcast-mode=", 0) == 0) {
@@ -284,6 +316,13 @@ Options parse(int argc, char** argv) {
   }
   if (opt.lint && opt.engine != "yafim" && opt.engine != "mrapriori") {
     usage(argv[0], "--lint requires --engine=yafim|mrapriori");
+  }
+  if (opt.detsan && opt.engine != "yafim" && opt.engine != "mrapriori") {
+    usage(argv[0], "--detsan requires --engine=yafim|mrapriori");
+  }
+  if (opt.detsan_selftest && (opt.stream || opt.approx)) {
+    usage(argv[0], "--detsan-selftest runs fixture plans, not a miner; "
+                   "drop --stream/--approx");
   }
   if (opt.no_cache && opt.engine != "yafim") {
     usage(argv[0], "--no-cache requires --engine=yafim");
@@ -439,6 +478,10 @@ int main(int argc, char** argv) {
   if (opt.engine == "yafim" || opt.engine == "mrapriori") {
     engine::ContextOptions ctx_opt;
     ctx_opt.lint.enabled = opt.lint;
+    ctx_opt.detsan.enabled = opt.detsan;
+    ctx_opt.detsan.fail_fast = opt.detsan_error;
+    // The selftest must replay every task so both fixtures are observed.
+    if (opt.detsan_selftest) ctx_opt.detsan.sample_rate = 1.0;
     if (opt.memory_gb > 0.0) {
       ctx_opt.cluster.executor_memory_bytes =
           static_cast<u64>(opt.memory_gb * (1ull << 30));
@@ -446,6 +489,41 @@ int main(int argc, char** argv) {
     ctx_opt.cluster.shuffle_buffer_bytes = opt.shuffle_buffer_mb << 20;
     engine::Context ctx(ctx_opt);
     ctx.set_spill_compress(opt.spill_compress);
+    // Printed even under --quiet: the CI detsan lane greps
+    // tasks_replayed=/divergences= and the YL007 rule id out of this block.
+    auto print_detsan = [&ctx]() {
+      for (const auto& diag : ctx.linter().diagnostics()) {
+        if (diag.rule == "YL007") {
+          std::printf("# detsan: %s\n",
+                      engine::PlanLinter::format(diag).c_str());
+        }
+      }
+      const engine::DetSan& ds = ctx.detsan();
+      std::printf("# detsan: tasks_replayed=%llu divergences=%llu\n",
+                  (unsigned long long)ds.tasks_replayed(),
+                  (unsigned long long)ds.divergences());
+    };
+    if (opt.detsan_selftest) {
+      // Negative control: both committed fixtures are impure, so the
+      // sanitizer must observe divergences. Exit 4 under --detsan=error
+      // (the first divergence throws), 0 when observing them, 1 if the
+      // fixtures somehow ran clean (the sanitizer itself is broken).
+      engine::detsan_selftest::SelftestResult self;
+      try {
+        self = engine::detsan_selftest::run(ctx);
+      } catch (const engine::DetSanError& e) {
+        std::printf("# detsan: %s\n", e.what());
+        print_detsan();
+        return 4;
+      }
+      print_detsan();
+      if (self.divergences == 0) {
+        std::fprintf(stderr,
+                     "detsan selftest failed: impure fixtures ran clean\n");
+        return 1;
+      }
+      return 0;
+    }
     simfs::SimFS fs(ctx.cluster());
     const fim::BroadcastMode bmode =
         opt.broadcast_mode == "full"          ? fim::BroadcastMode::kFull
@@ -465,85 +543,93 @@ int main(int argc, char** argv) {
       }
     }
 
-    if (opt.stream) {
-      stream::StreamOptions mine_opt;
-      mine_opt.min_support = opt.minsup;
-      mine_opt.num_batches = opt.stream_batches;
-      mine_opt.source.window_s = opt.stream_window_s;
-      mine_opt.source.ingest_rate = opt.stream_rate;
-      mine_opt.source.seed = opt.stream_seed;
-      mine_opt.broadcast_mode = bmode;
-      mine_opt.checkpoint = store;
-      stream::StreamResult sres;
-      try {
-        sres = stream::stream_mine(ctx, fs, db, mine_opt);
-      } catch (const stream::StreamKilledError& killed) {
-        std::printf("# stream: killed at batch %llu phase %s\n",
-                    (unsigned long long)killed.batch(),
-                    stream::stream_phase_name(killed.phase()));
-        return 9;
-      }
-      // Printed even under --quiet: CI diffs this line between the
-      // kill-resume run and the uninterrupted one, and perf_gate.py
-      // checks the steady-state latency against the ingest interval.
-      std::printf(
-          "# stream: batches=%zu transactions=%llu minsup_count=%llu "
-          "steady_batch_s=%.3f interval_s=%.2f window_factor=%u "
-          "slack=%.2f widenings=%llu slack_raises=%llu reverified=%llu "
-          "deferred_drained=%llu\n",
-          sres.batches.size(), (unsigned long long)sres.total_transactions,
-          (unsigned long long)sres.min_support_count,
-          sres.steady_batch_seconds(), sres.ingest_interval_s,
-          sres.window_factor, sres.reverify_slack,
-          (unsigned long long)sres.widenings,
-          (unsigned long long)sres.slack_raises,
-          (unsigned long long)sres.reverifications,
-          (unsigned long long)sres.deferred_at_close);
-      if (sres.resumed_batch > 0 && !opt.quiet) {
+    try {
+      if (opt.stream) {
+        stream::StreamOptions mine_opt;
+        mine_opt.min_support = opt.minsup;
+        mine_opt.num_batches = opt.stream_batches;
+        mine_opt.source.window_s = opt.stream_window_s;
+        mine_opt.source.ingest_rate = opt.stream_rate;
+        mine_opt.source.seed = opt.stream_seed;
+        mine_opt.broadcast_mode = bmode;
+        mine_opt.checkpoint = store;
+        stream::StreamResult sres;
+        try {
+          sres = stream::stream_mine(ctx, fs, db, mine_opt);
+        } catch (const stream::StreamKilledError& killed) {
+          std::printf("# stream: killed at batch %llu phase %s\n",
+                      (unsigned long long)killed.batch(),
+                      stream::stream_phase_name(killed.phase()));
+          return 9;
+        }
+        // Printed even under --quiet: CI diffs this line between the
+        // kill-resume run and the uninterrupted one, and perf_gate.py
+        // checks the steady-state latency against the ingest interval.
         std::printf(
-            "# resumed from stream checkpoint: batches 1..%llu restored\n",
-            (unsigned long long)sres.resumed_batch);
+            "# stream: batches=%zu transactions=%llu minsup_count=%llu "
+            "steady_batch_s=%.3f interval_s=%.2f window_factor=%u "
+            "slack=%.2f widenings=%llu slack_raises=%llu reverified=%llu "
+            "deferred_drained=%llu\n",
+            sres.batches.size(), (unsigned long long)sres.total_transactions,
+            (unsigned long long)sres.min_support_count,
+            sres.steady_batch_seconds(), sres.ingest_interval_s,
+            sres.window_factor, sres.reverify_slack,
+            (unsigned long long)sres.widenings,
+            (unsigned long long)sres.slack_raises,
+            (unsigned long long)sres.reverifications,
+            (unsigned long long)sres.deferred_at_close);
+        if (sres.resumed_batch > 0 && !opt.quiet) {
+          std::printf(
+              "# resumed from stream checkpoint: batches 1..%llu restored\n",
+              (unsigned long long)sres.resumed_batch);
+        }
+        run.itemsets = std::move(sres.itemsets);
+      } else if (opt.approx) {
+        fim::SamplingOptions mine_opt;
+        mine_opt.min_support = opt.minsup;
+        mine_opt.sample_fraction = opt.sample_fraction;
+        mine_opt.num_samples = static_cast<u32>(opt.approx_samples);
+        mine_opt.relax = opt.relax;
+        mine_opt.cache_transactions = !opt.no_cache;
+        mine_opt.broadcast_mode = bmode;
+        fim::SamplingRun sres = fim::sampling_mine(ctx, fs, db, mine_opt);
+        // Printed even under --quiet: the CI approx-smoke lane greps
+        // exact=/border_survivors= out of this line, and the negative
+        // control asserts the certificate is refused.
+        std::printf(
+            "# approx: samples=%llu fraction=%g relax=%g candidates=%llu "
+            "border=%llu verified=%llu false=%llu border_survivors=%llu "
+            "exact=%s miss_bound=%.3g\n",
+            (unsigned long long)opt.approx_samples, opt.sample_fraction,
+            opt.relax, (unsigned long long)sres.candidate_union,
+            (unsigned long long)sres.border_union,
+            (unsigned long long)sres.run.itemsets.total(),
+            (unsigned long long)sres.false_candidates,
+            (unsigned long long)sres.border_survivors,
+            sres.exact ? "true" : "false", sres.miss_bound);
+        run = std::move(sres.run);
+      } else if (opt.engine == "yafim") {
+        fim::YafimOptions mine_opt;
+        mine_opt.min_support = opt.minsup;
+        mine_opt.checkpoint = store;
+        mine_opt.stop_after_pass = opt.stop_after_pass;
+        mine_opt.cache_transactions = !opt.no_cache;
+        mine_opt.broadcast_mode = bmode;
+        run = fim::yafim_mine(ctx, fs, db, mine_opt);
+      } else {
+        fim::MrAprioriOptions mine_opt;
+        mine_opt.min_support = opt.minsup;
+        mine_opt.checkpoint = store;
+        mine_opt.stop_after_pass = opt.stop_after_pass;
+        mine_opt.broadcast_mode = bmode;
+        run = fim::mr_apriori_mine(ctx, fs, db, mine_opt);
       }
-      run.itemsets = std::move(sres.itemsets);
-    } else if (opt.approx) {
-      fim::SamplingOptions mine_opt;
-      mine_opt.min_support = opt.minsup;
-      mine_opt.sample_fraction = opt.sample_fraction;
-      mine_opt.num_samples = static_cast<u32>(opt.approx_samples);
-      mine_opt.relax = opt.relax;
-      mine_opt.cache_transactions = !opt.no_cache;
-      mine_opt.broadcast_mode = bmode;
-      fim::SamplingRun sres = fim::sampling_mine(ctx, fs, db, mine_opt);
-      // Printed even under --quiet: the CI approx-smoke lane greps
-      // exact=/border_survivors= out of this line, and the negative
-      // control asserts the certificate is refused.
-      std::printf(
-          "# approx: samples=%llu fraction=%g relax=%g candidates=%llu "
-          "border=%llu verified=%llu false=%llu border_survivors=%llu "
-          "exact=%s miss_bound=%.3g\n",
-          (unsigned long long)opt.approx_samples, opt.sample_fraction,
-          opt.relax, (unsigned long long)sres.candidate_union,
-          (unsigned long long)sres.border_union,
-          (unsigned long long)sres.run.itemsets.total(),
-          (unsigned long long)sres.false_candidates,
-          (unsigned long long)sres.border_survivors,
-          sres.exact ? "true" : "false", sres.miss_bound);
-      run = std::move(sres.run);
-    } else if (opt.engine == "yafim") {
-      fim::YafimOptions mine_opt;
-      mine_opt.min_support = opt.minsup;
-      mine_opt.checkpoint = store;
-      mine_opt.stop_after_pass = opt.stop_after_pass;
-      mine_opt.cache_transactions = !opt.no_cache;
-      mine_opt.broadcast_mode = bmode;
-      run = fim::yafim_mine(ctx, fs, db, mine_opt);
-    } else {
-      fim::MrAprioriOptions mine_opt;
-      mine_opt.min_support = opt.minsup;
-      mine_opt.checkpoint = store;
-      mine_opt.stop_after_pass = opt.stop_after_pass;
-      mine_opt.broadcast_mode = bmode;
-      run = fim::mr_apriori_mine(ctx, fs, db, mine_opt);
+    } catch (const engine::DetSanError& e) {
+      // fail_fast throws on the first divergence; the YL007 diagnostic
+      // was recorded before the throw, so the block below names it.
+      std::printf("# detsan: %s\n", e.what());
+      print_detsan();
+      return 4;
     }
     sim_seconds = opt.stream ? ctx.sim_seconds() : run.total_seconds();
     {
@@ -560,6 +646,7 @@ int main(int argc, char** argv) {
           (unsigned long long)mb.spill_blocks_read(),
           (unsigned long long)mb.mem_shrinks_applied());
     }
+    if (opt.detsan) print_detsan();
     if (store && !opt.quiet) {
       // Per-pass provenance: the crash-recovery harness asserts restored
       // passes were skipped, not re-mined, from these lines.

@@ -3,16 +3,39 @@
 # sources, using the compilation database CMake exports on every configure
 # (CMAKE_EXPORT_COMPILE_COMMANDS is on unconditionally).
 #
-#   scripts/lint.sh [BUILD_DIR]        # default BUILD_DIR: build
+#   scripts/lint.sh [BUILD_DIR] [--jobs=N]    # default BUILD_DIR: build,
+#                                             # default jobs: nproc
 #
 # Scope is src/ and examples/: the translation units whose idiom the check
 # set was curated against. (bench/ is dominated by google-benchmark macro
 # expansion, tests/ by gtest's; both drown the lane in third-party noise.)
 # Exits non-zero on any finding (.clang-tidy sets WarningsAsErrors: '*').
+#
+# Every worker's exit status is collected individually: an early failure
+# keeps the remaining files linting (so one run reports ALL findings) and
+# still fails the lane. The previous xargs pipeline surfaced only a
+# generic exit 123 and, under some xargs implementations, only the status
+# of the final batch.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-build_dir="${1:-build}"
+
+build_dir="build"
+jobs="$(nproc)"
+for arg in "$@"; do
+  case "$arg" in
+    --jobs=*) jobs="${arg#--jobs=}" ;;
+    -*)
+      echo "usage: $0 [BUILD_DIR] [--jobs=N]" >&2
+      exit 2
+      ;;
+    *) build_dir="$arg" ;;
+  esac
+done
+if ! [[ "$jobs" =~ ^[1-9][0-9]*$ ]]; then
+  echo "error: --jobs must be a positive integer, got '$jobs'" >&2
+  exit 2
+fi
 
 if [ ! -f "$build_dir/compile_commands.json" ]; then
   echo "error: $build_dir/compile_commands.json not found" >&2
@@ -28,11 +51,30 @@ fi
 "$tidy" --version | head -n 2
 
 mapfile -t files < <(git ls-files 'src/*.cpp' 'src/*/*.cpp' 'examples/*.cpp')
-echo "linting ${#files[@]} translation units against $(pwd)/.clang-tidy"
+echo "linting ${#files[@]} translation units against $(pwd)/.clang-tidy" \
+  "with $jobs worker(s)"
 
-# xargs -P fans the single-threaded clang-tidy out across cores; it exits
-# 123 if any invocation failed, which set -e turns into the lane failing.
-printf '%s\n' "${files[@]}" |
-  xargs -P "$(nproc)" -n 2 "$tidy" -p "$build_dir" --quiet
+# Strided fan-out: worker w takes files w, w+jobs, w+2*jobs, ... Each
+# worker records whether ANY of its invocations failed and reports that as
+# its own exit status; the join below ORs them all together.
+pids=()
+for ((w = 0; w < jobs; ++w)); do
+  (
+    status=0
+    for ((i = w; i < ${#files[@]}; i += jobs)); do
+      "$tidy" -p "$build_dir" --quiet "${files[$i]}" || status=1
+    done
+    exit "$status"
+  ) &
+  pids+=("$!")
+done
 
+failed=0
+for pid in "${pids[@]}"; do
+  wait "$pid" || failed=1
+done
+if ((failed)); then
+  echo "clang-tidy: findings reported above" >&2
+  exit 1
+fi
 echo "clang-tidy: no findings"

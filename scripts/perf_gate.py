@@ -38,6 +38,13 @@ Five checks, tuned to what each quantity can promise:
                     recall never below the baseline's, and the exactness
                     certificate never lost (an x that was exact=1 in the
                     baseline must stay 1).
+6. detsan:          the determinism sanitizer ('detsan_sim_s:<dataset>',
+                    x=0 off / x=1 on at the default 1/16 sample rate) must
+                    keep its replay overhead within 10% of the
+                    detsan-off run in simulated seconds (intra-run, the
+                    acceptance bound from the DetSan design), and the
+                    detsan-on sim seconds must not exceed the baseline's
+                    beyond the deterministic sim tolerance.
 
 Usage:
   perf_gate.py CURRENT.json BASELINE.json [--sim-tol 1.02] [--ratio-band 0.5]
@@ -248,6 +255,34 @@ def main():
             check(ex[x] >= bex[x] - 1e-9,
                   f"{dataset} approx x={x}: exact={ex[x]:.0f} vs baseline "
                   f"exact={bex[x]:.0f} (certificate must not be lost)")
+
+    # 6. determinism-sanitizer replay overhead gate.
+    cur_ds = series_by_dataset(current, "detsan_sim_s", args.current)
+    base_ds = series_by_dataset(baseline, "detsan_sim_s", args.baseline)
+    if base_ds and not cur_ds:
+        fail(f"{args.current}: baseline has 'detsan_sim_s:*' series but the "
+             "current run does not (bench_ablation too old?)")
+    for dataset in sorted(cur_ds):
+        ds = cur_ds[dataset]
+        if 0 not in ds or 1 not in ds:
+            fail(f"{args.current}: series 'detsan_sim_s:{dataset}' needs "
+                 "both x=0 (off) and x=1 (on) points")
+        # Intra-run: replay overhead is the acceptance bound, not a drift
+        # band -- sim seconds are deterministic, so 1.10 is exact.
+        check(ds[1] <= ds[0] * 1.10,
+              f"{dataset} detsan: on {ds[1]:.2f}s vs off {ds[0]:.2f}s "
+              "(replay overhead must stay within x1.10)")
+        if dataset not in base_ds:
+            print(f"note {dataset} detsan: not in baseline, "
+                  "overhead check only")
+            continue
+        bds = base_ds[dataset]
+        if 1 not in bds:
+            fail(f"{args.baseline}: series 'detsan_sim_s:{dataset}' has no "
+                 "x=1 point -- regenerate the baseline")
+        check(ds[1] <= bds[1] * args.sim_tol,
+              f"{dataset} detsan: on sim {ds[1]:.2f}s vs baseline "
+              f"{bds[1]:.2f}s (tol x{args.sim_tol})")
 
     if failures:
         print(f"\nperf gate: {len(failures)} regression(s)")

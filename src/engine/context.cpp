@@ -28,7 +28,11 @@ Context::Context(Options opts)
       default_partitions_(opts_.default_partitions
                               ? opts_.default_partitions
                               : 2 * opts_.cluster.total_cores()) {
+  // DetSan resolves node names for YL007 through the linter's plan shadow,
+  // so enabling the sanitizer forces the linter on.
+  if (opts_.detsan.enabled) opts_.lint.enabled = true;
   linter_.configure(opts_.lint, opts_.cluster.executor_memory_bytes);
+  detsan_.configure(opts_.detsan, &linter_);
   // Stages are launched from the constructing thread; name it in traces.
   obs::Tracer::instance().set_thread_name("driver");
 }
@@ -55,6 +59,7 @@ std::vector<sim::TaskRecord> Context::measure_tasks(
       span.emplace("task", label);
       span->arg("index", i);
     }
+    DetSan::StageScope stage_scope(detsan_.enabled() ? &label : nullptr);
     work::Scope scope;
     body(i);
     tasks[i].work = scope.measured();
@@ -89,6 +94,7 @@ std::vector<sim::TaskRecord> Context::measure_tasks_with_faults(
     pool_.parallel_for(static_cast<u32>(todo.size()), [&](u32 j) {
       const u32 i = todo[j];
       sim::TaskRecord& rec = tasks[i];
+      DetSan::StageScope stage_scope(detsan_.enabled() ? &label : nullptr);
       std::optional<obs::Span> span;
       if (traced) {
         span.emplace("task", label);

@@ -12,6 +12,7 @@
 #include <mutex>
 #include <string>
 
+#include "engine/detsan.h"
 #include "engine/fault.h"
 #include "engine/lint.h"
 #include "engine/memory.h"
@@ -63,6 +64,10 @@ struct ContextOptions {
   /// initializer keeps designated-init call sites clear of
   /// -Wmissing-field-initializers.)
   LintOptions lint = {};
+  /// Determinism sanitizer (engine/detsan.h). Off by default; enabling it
+  /// also forces the plan linter on (YL007 resolves node names through the
+  /// linter's plan shadow).
+  DetSanOptions detsan = {};
 };
 
 class Context {
@@ -108,6 +113,12 @@ class Context {
   /// before_execute(); tests assert on linter().diagnostics().
   PlanLinter& linter() { return linter_; }
   const PlanLinter& linter() const { return linter_; }
+
+  /// Determinism sanitizer; configured from Options::detsan, disabled by
+  /// default. RDD compute paths consult it for sampled replays; mine_cli
+  /// reads tasks_replayed()/divergences() for its `# detsan:` summary.
+  DetSan& detsan() { return detsan_; }
+  const DetSan& detsan() const { return detsan_; }
 
   // report()/sim_seconds() hand out the report guarded by report_mutex_.
   // Thread-safety analysis is suppressed deliberately: callers read the
@@ -226,6 +237,7 @@ class Context {
   FaultInjector fault_;
   MemoryBudget memory_budget_;
   PlanLinter linter_;
+  DetSan detsan_;
   u32 default_partitions_;
   simfs::SimFS* spill_fs_ = nullptr;
   bool spill_compress_ = true;

@@ -28,6 +28,9 @@ obs::CounterId rule_counter(const char* rule) {
   if (std::strcmp(rule, "YL006") == 0) {
     return obs::CounterId::kLintStreamBackpressure;
   }
+  if (std::strcmp(rule, "YL007") == 0) {
+    return obs::CounterId::kDetsanDivergences;
+  }
   return obs::CounterId::kLintDeepLineage;
 }
 
@@ -175,6 +178,27 @@ void PlanLinter::note_stream_backpressure(double slack, u64 deferred,
   diag.message = os.str();
   obs::count(rule_counter("YL006"));
   diagnostics_.push_back(std::move(diag));
+}
+
+void PlanLinter::note_detsan_divergence(u32 node, const std::string& node_name,
+                                        const std::string& message) {
+  if (!enabled_) return;
+  util::MutexLock lock(mutex_);
+  LintDiagnostic diag;
+  diag.rule = "YL007";
+  diag.severity = LintSeverity::kError;
+  diag.node = node;
+  diag.node_name = node_name;
+  diag.message = message;
+  // No obs::count here: DetSan::report_divergence bumps
+  // kDetsanDivergences itself (it must count even with no linter attached),
+  // so bumping per diagnostic too would double-count.
+  diagnostics_.push_back(std::move(diag));
+}
+
+std::string PlanLinter::node_label(u32 id) const {
+  util::MutexLock lock(mutex_);
+  return node_label_locked(id);
 }
 
 void PlanLinter::finalize() {

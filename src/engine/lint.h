@@ -36,6 +36,18 @@
 //                 threshold -- results stay exact (crossings are deferred,
 //                 never dropped), but frontier maintenance is lagging the
 //                 ingest rate and the deferred work is accumulating.
+//   YL007  error  the determinism sanitizer (engine/detsan.h) observed a
+//                 runtime divergence: re-executing a sampled task with a
+//                 permuted input order produced different output -- the
+//                 closure is impure or the reduce fn is non-commutative.
+//   YL008  error  statically impure closure, reported by the companion
+//                 static pass (scripts/closure_check.sh): a lambda passed
+//                 to an RDD combinator captures mutable non-local state by
+//                 reference, calls rand/time/std::random_device, or
+//                 accumulates floating point without a
+//                 `// detsan: tolerate-fp` waiver. YL008 never flows
+//                 through PlanLinter at runtime; the id is reserved here so
+//                 both layers share one rule vocabulary.
 //
 // Each emitted diagnostic also bumps an obs counter (lint.* family, gated on
 // tracing like every obs counter). Tests assert through the Context hook
@@ -128,9 +140,18 @@ class PlanLinter {
   /// but the plan is running at the edge of its ingest budget.
   void note_stream_backpressure(double slack, u64 deferred, double latency_s,
                                 double interval_s, const std::string& name);
+  /// YL007: DetSan observed a runtime replay divergence on `node`.
+  /// `node_name` is resolved by the caller (DetSan holds it for the error
+  /// it may throw); `message` describes the divergence.
+  void note_detsan_divergence(u32 node, const std::string& node_name,
+                              const std::string& message);
   /// End-of-plan rules (YL003 dead cache). Call after the last action;
   /// idempotent per node.
   void finalize();
+
+  /// Debug label for a node: its RDD::named name, or "rdd#<id>". Used by
+  /// DetSan to name the diverging node in YL007 / DetSanError.
+  std::string node_label(u32 id) const;
 
   // --- results ----------------------------------------------------------
   std::vector<LintDiagnostic> diagnostics() const;

@@ -30,12 +30,14 @@
 #include "engine/broadcast.h"
 #include "engine/bytes_of.h"
 #include "engine/context.h"
+#include "engine/detsan.h"
 #include "engine/error.h"
 #include "engine/lint.h"
 #include "engine/work.h"
 #include "obs/metrics.h"
 #include "simfs/simfs.h"
 #include "util/bytes.h"
+#include "util/canon_hash.h"
 #include "util/rng.h"
 #include "util/thread_annotations.h"
 
@@ -70,6 +72,128 @@ struct ArrayTraits<std::vector<E>> {
   static constexpr bool is_array = true;
   using elem_type = E;
 };
+
+// --- DetSan replay support (engine/detsan.h) ----------------------------
+//
+// Operators re-execute sampled tasks with a permuted input order and
+// compare canonical hashes of the two outputs; these helpers hold the
+// compare-and-report plumbing so each operator's hook stays a few lines.
+// Replays run inside the task's work::Scope and call work::add like the
+// primary pass, so their cost is priced into the sim automatically.
+
+/// Index of the first element of `primary` that `replay` cannot account
+/// for under multiset equality (primary.size() when replay only has
+/// extras). Called on the divergence path only.
+template <typename U>
+size_t detsan_first_unmatched(const std::vector<U>& primary,
+                              const std::vector<U>& replay) {
+  std::unordered_map<u64, i64> counts;
+  counts.reserve(replay.size());
+  for (const U& e : replay) ++counts[util::canon_hash_value(e)];
+  for (size_t i = 0; i < primary.size(); ++i) {
+    if (--counts[util::canon_hash_value(primary[i])] < 0) return i;
+  }
+  return primary.size();
+}
+
+/// Element-wise operators (map/flat_map/filter): a pure closure over a
+/// permuted input must produce the permuted -- i.e. multiset-equal --
+/// output.
+template <typename U>
+void detsan_check_multiset(DetSan& ds, u32 node_id, const char* op,
+                           const std::vector<U>& primary,
+                           const std::vector<U>& replay) {
+  ds.note_replayed();
+  if (util::canon_hash_unordered(primary) ==
+      util::canon_hash_unordered(replay)) {
+    return;
+  }
+  const size_t at = detsan_first_unmatched(primary, replay);
+  ds.report_divergence(node_id, op,
+                       "element index " + std::to_string(at) + " of " +
+                           std::to_string(primary.size()) +
+                           " (replay produced " +
+                           std::to_string(replay.size()) + " element(s))");
+}
+
+/// Order-contractual operators (map_partitions, sum_arrays accumulators):
+/// replaying with the identical input must reproduce the identical output,
+/// element for element.
+template <typename U>
+void detsan_check_ordered(DetSan& ds, u32 node_id, const char* op,
+                          const std::vector<U>& primary,
+                          const std::vector<U>& replay) {
+  ds.note_replayed();
+  if (util::canon_hash_ordered(primary) == util::canon_hash_ordered(replay)) {
+    return;
+  }
+  const size_t common = std::min(primary.size(), replay.size());
+  size_t at = common;  // only the lengths differ
+  for (size_t i = 0; i < common; ++i) {
+    if (util::canon_hash_value(primary[i]) !=
+        util::canon_hash_value(replay[i])) {
+      at = i;
+      break;
+    }
+  }
+  ds.report_divergence(node_id, op,
+                       "element index " + std::to_string(at) + " of " +
+                           std::to_string(primary.size()));
+}
+
+/// Map-side combine accumulators (reduce_by_key / aggregate_by_key): the
+/// key -> accumulated-value maps of the primary and the permuted-order
+/// replay must agree as multisets of (key, value) pairs -- this is exactly
+/// the engine's commutativity contract for the combine fn, and it also
+/// catches hash-map iteration order leaking *into* the values.
+template <typename K, typename V, typename Hash>
+void detsan_check_kv(DetSan& ds, u32 node_id, const char* op,
+                     const std::unordered_map<K, V, Hash>& primary,
+                     const std::unordered_map<K, V, Hash>& replay) {
+  ds.note_replayed();
+  if (util::canon_hash_unordered(primary) ==
+      util::canon_hash_unordered(replay)) {
+    return;
+  }
+  for (const auto& [k, v] : primary) {
+    const auto it = replay.find(k);
+    if (it != replay.end() &&
+        util::canon_hash_value(it->second) == util::canon_hash_value(v)) {
+      continue;
+    }
+    ds.report_divergence(
+        node_id, op,
+        std::string(it == replay.end() ? "key missing from replay"
+                                       : "combined value for key") +
+            " (key hash " + std::to_string(util::canon_hash_value(k)) + ", " +
+            std::to_string(primary.size()) + " vs " +
+            std::to_string(replay.size()) + " key(s))");
+    return;
+  }
+  ds.report_divergence(node_id, op,
+                       "replay-only key(s): " + std::to_string(replay.size()) +
+                           " vs " + std::to_string(primary.size()));
+}
+
+/// Partition fold (RDD::reduce): an associative + commutative f reaches
+/// the same accumulator from any fold order.
+template <typename T, typename F>
+void detsan_replay_fold(DetSan& ds, u32 node_id, u32 pid,
+                        const std::vector<T>& in, const T& acc, F& f) {
+  if (in.size() < 2 || !ds.should_replay(node_id, pid)) return;
+  const std::vector<u32> order =
+      DetSan::permutation(in.size(), ds.replay_seed(node_id, pid));
+  T racc = in[order[0]];
+  for (size_t i = 1; i < order.size(); ++i) {
+    work::add(1);
+    racc = f(racc, in[order[i]]);
+  }
+  ds.note_replayed();
+  if (util::canon_hash_value(acc) == util::canon_hash_value(racc)) return;
+  ds.report_divergence(node_id, "reduce",
+                       "partition fold over " + std::to_string(in.size()) +
+                           " element(s): permuted fold order disagrees");
+}
 
 /// Base lineage node: owns the partition cache and fault-recovery logic.
 template <typename T>
@@ -258,6 +382,19 @@ class MapNode final : public Node<U> {
       work::add(1);
       out.push_back(f_(x));
     }
+    if constexpr (util::is_canon_hashable_v<U>) {
+      DetSan& ds = this->ctx().detsan();
+      if (ds.should_replay(this->id(), pid)) {
+        std::vector<U> replay;
+        replay.reserve(in->size());
+        for (u32 i : DetSan::permutation(in->size(),
+                                         ds.replay_seed(this->id(), pid))) {
+          work::add(1);
+          replay.push_back(f_((*in)[i]));
+        }
+        detsan_check_multiset(ds, this->id(), "map", out, replay);
+      }
+    }
     return out;
   }
 
@@ -285,6 +422,20 @@ class FlatMapNode final : public Node<U> {
       out.insert(out.end(), std::make_move_iterator(produced.begin()),
                  std::make_move_iterator(produced.end()));
     }
+    if constexpr (util::is_canon_hashable_v<U>) {
+      DetSan& ds = this->ctx().detsan();
+      if (ds.should_replay(this->id(), pid)) {
+        std::vector<U> replay;
+        for (u32 i : DetSan::permutation(in->size(),
+                                         ds.replay_seed(this->id(), pid))) {
+          auto produced = f_((*in)[i]);
+          work::add(1 + produced.size());
+          replay.insert(replay.end(), std::make_move_iterator(produced.begin()),
+                        std::make_move_iterator(produced.end()));
+        }
+        detsan_check_multiset(ds, this->id(), "flat_map", out, replay);
+      }
+    }
     return out;
   }
 
@@ -310,6 +461,19 @@ class FilterNode final : public Node<T> {
       work::add(1);
       if (f_(x)) out.push_back(x);
     }
+    if constexpr (util::is_canon_hashable_v<T>) {
+      DetSan& ds = this->ctx().detsan();
+      if (ds.should_replay(this->id(), pid)) {
+        std::vector<T> replay;
+        for (u32 i : DetSan::permutation(in->size(),
+                                         ds.replay_seed(this->id(), pid))) {
+          work::add(1);
+          const T& x = (*in)[i];
+          if (f_(x)) replay.push_back(x);
+        }
+        detsan_check_multiset(ds, this->id(), "filter", out, replay);
+      }
+    }
     return out;
   }
 
@@ -331,7 +495,19 @@ class MapPartitionsNode final : public Node<U> {
   std::vector<U> compute(u32 pid) override {
     auto in = parent_->get(pid);
     work::add(in->size());
-    return f_(*in);
+    std::vector<U> out = f_(*in);
+    if constexpr (util::is_canon_hashable_v<U>) {
+      // Partition functions may legitimately depend on element order
+      // (tid assignment, zips), so the replay feeds the *same* order and
+      // only checks the output is a pure function of it.
+      DetSan& ds = this->ctx().detsan();
+      if (ds.should_replay(this->id(), pid)) {
+        work::add(in->size());
+        std::vector<U> replay = f_(*in);
+        detsan_check_ordered(ds, this->id(), "map_partitions", out, replay);
+      }
+    }
+    return out;
   }
 
  private:
@@ -648,6 +824,34 @@ class ShuffleSpill {
     for (size_t i = 0; i < blocks.size(); ++i) {
       std::vector<u8> bytes;
       spill_put(bytes, blocks[i]);
+      // Serialize-twice check: a block whose wire bytes differ across two
+      // serializations of the same data carries uninitialized or
+      // address-dependent bytes. Host-only (no work::add): the sim prices
+      // the spill itself via record_io, not the encoder's determinism.
+      DetSan& ds = ctx_.detsan();
+      if (ds.enabled() &&
+          ds.should_replay(static_cast<u32>(mix64(
+                               xxh64(label_.data(), label_.size(), 0))),
+                           static_cast<u32>(i))) {
+        std::vector<u8> again;
+        spill_put(again, blocks[i]);
+        ds.note_replayed();
+        if (xxh64(bytes.data(), bytes.size(), 0) !=
+            xxh64(again.data(), again.size(), 0)) {
+          size_t at = std::min(bytes.size(), again.size());
+          for (size_t b = 0; b < std::min(bytes.size(), again.size()); ++b) {
+            if (bytes[b] != again[b]) {
+              at = b;
+              break;
+            }
+          }
+          ds.report_divergence_raw(
+              "spill block '" + label_ + "' #" + std::to_string(i),
+              "spill-serialize",
+              "byte offset " + std::to_string(at) + " of " +
+                  std::to_string(bytes.size()));
+        }
+      }
       const u64 raw = bytes.size();
       if (compress_) bytes = yz_compress(bytes);
       const u64 stored = bytes.size();
@@ -867,6 +1071,23 @@ class RDD {
             it->second = seq(std::move(it->second), v);
             (void)inserted;
           }
+          if constexpr (util::is_canon_hashable_v<K> &&
+                        util::is_canon_hashable_v<A>) {
+            DetSan& ds = ctx.detsan();
+            if (ds.should_replay(node_->id(), pid)) {
+              std::unordered_map<K, A, Hash> racc;
+              for (u32 i : DetSan::permutation(
+                       in->size(), ds.replay_seed(node_->id(), pid))) {
+                work::add(1);
+                const auto& [k, v] = (*in)[i];
+                auto [it, inserted] = racc.try_emplace(k, zero);
+                it->second = seq(std::move(it->second), v);
+                (void)inserted;
+              }
+              detail::detsan_check_kv(ds, node_->id(), "aggregate_by_key",
+                                      acc, racc);
+            }
+          }
           auto& buckets = map_out[pid];
           buckets.resize(reduce_tasks);
           u64 bytes = 0;
@@ -928,6 +1149,26 @@ class RDD {
             work::add(1);
             auto [it, inserted] = acc.try_emplace(k, v);
             if (!inserted) it->second = combine(it->second, v);
+          }
+          // The combine fn is checked here at the map-combine stage; the
+          // reduce side applies the same fn, so a non-commutative combine
+          // cannot slip through unexercised.
+          if constexpr (util::is_canon_hashable_v<K> &&
+                        util::is_canon_hashable_v<V>) {
+            DetSan& ds = ctx.detsan();
+            if (ds.should_replay(node_->id(), pid)) {
+              std::unordered_map<K, V, Hash> racc;
+              racc.reserve(std::min(in->size(), kCombineReserveCap));
+              for (u32 i : DetSan::permutation(
+                       in->size(), ds.replay_seed(node_->id(), pid))) {
+                work::add(1);
+                const auto& [k, v] = (*in)[i];
+                auto [it, inserted] = racc.try_emplace(k, v);
+                if (!inserted) it->second = combine(it->second, v);
+              }
+              detail::detsan_check_kv(ds, node_->id(), "reduce_by_key", acc,
+                                      racc);
+            }
           }
           auto& buckets = map_out[pid];
           buckets.resize(reduce_tasks);
@@ -1251,6 +1492,10 @@ class RDD {
         work::add(1);
         acc = f(acc, (*in)[i]);
       }
+      if constexpr (util::is_canon_hashable_v<T>) {
+        detail::detsan_replay_fold(ctx.detsan(), node_->id(), pid, *in, acc,
+                                   f);
+      }
       partials[pid] = std::move(acc);
     });
 
@@ -1369,6 +1614,21 @@ class RDD {
             }
             work::add(width);
             for (size_t i = 0; i < width; ++i) acc[i] += arr[i];
+          }
+          // Permuted-order re-accumulation: += over a permuted element
+          // order must land on the same cells. Exact for integers; for
+          // floating-point cells this is the non-associativity catch.
+          DetSan& ds = ctx.detsan();
+          if (ds.should_replay(node_->id(), pid)) {
+            std::vector<E> racc(width, E{});
+            for (u32 i : DetSan::permutation(
+                     in->size(), ds.replay_seed(node_->id(), pid))) {
+              work::add(width);
+              const auto& arr = (*in)[i];
+              for (size_t c = 0; c < width; ++c) racc[c] += arr[c];
+            }
+            detail::detsan_check_ordered(ds, node_->id(), "sum_arrays", acc,
+                                         racc);
           }
           shuffle_bytes.fetch_add(byte_size(acc), std::memory_order_relaxed);
           partials[pid] = std::move(acc);

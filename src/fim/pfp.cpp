@@ -116,6 +116,8 @@ PfpRun pfp_mine(engine::Context& ctx, simfs::SimFS& fs,
 
   auto group_mined =
       transactions
+          // detsan: tolerate-accumulator -- commutative metric adds only;
+          // the accumulator never feeds the emitted prefixes.
           .flat_map([shared_table,
                      &conditional_count](const Transaction& t) {
             // Transaction as ascending ranks (most frequent first).

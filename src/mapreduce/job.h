@@ -26,10 +26,13 @@
 
 #include "engine/bytes_of.h"
 #include "engine/context.h"
+#include "engine/detsan.h"
 #include "engine/rdd.h"
 #include "engine/work.h"
 #include "obs/trace.h"
 #include "simfs/simfs.h"
+#include "util/canon_hash.h"
+#include "util/checksum.h"
 #include "util/common.h"
 
 namespace yafim::mr {
@@ -177,6 +180,25 @@ class JobRunner {
         buckets[r].emplace_back(std::move(k), std::move(v));
       };
       if (spec.combine_fn) {
+        // DetSan: when this task is sampled, re-run the combiner over a
+        // permuted emission order and compare multisets -- the MapReduce
+        // analogue of the RDD map-combine replay, catching
+        // non-commutative/non-associative combine fns. The snapshot is
+        // taken up front because the primary build below moves the pairs
+        // out of the emitter.
+        engine::DetSan& ds = ctx_.detsan();
+        u32 replay_id = 0;
+        std::vector<std::pair<K, V>> replay_input;
+        if constexpr (util::is_canon_hashable_v<K> &&
+                      util::is_canon_hashable_v<V>) {
+          if (ds.enabled() && emitter.pairs().size() >= 2) {
+            replay_id = static_cast<u32>(
+                mix64(xxh64(spec.name.data(), spec.name.size(), 0)));
+            if (ds.should_replay(replay_id, m)) {
+              replay_input = emitter.pairs();
+            }
+          }
+        }
         std::unordered_map<K, V, Hash> combined;
         combined.reserve(
             std::min(emitter.pairs().size(), engine::kCombineReserveCap));
@@ -184,6 +206,33 @@ class JobRunner {
           engine::work::add(1);
           auto [it, inserted] = combined.try_emplace(std::move(k), v);
           if (!inserted) it->second = spec.combine_fn(it->second, v);
+        }
+        if constexpr (util::is_canon_hashable_v<K> &&
+                      util::is_canon_hashable_v<V>) {
+          if (!replay_input.empty()) {
+            const std::vector<u32> perm = engine::DetSan::permutation(
+                replay_input.size(), ds.replay_seed(replay_id, m));
+            std::unordered_map<K, V, Hash> rcombined;
+            rcombined.reserve(combined.size());
+            for (u32 idx : perm) {
+              engine::work::add(1);
+              const auto& [k, v] = replay_input[idx];
+              auto [it, inserted] = rcombined.try_emplace(k, v);
+              if (!inserted) it->second = spec.combine_fn(it->second, v);
+            }
+            ds.note_replayed();
+            if (util::canon_hash_unordered(combined) !=
+                util::canon_hash_unordered(rcombined)) {
+              ds.report_divergence_raw(
+                  "job '" + spec.name + "' map task " + std::to_string(m),
+                  "combine",
+                  combined.size() == rcombined.size()
+                      ? "a combined value differs between emission orders"
+                      : std::to_string(rcombined.size()) +
+                            " combined key(s) on replay vs " +
+                            std::to_string(combined.size()));
+            }
+          }
         }
         for (auto& [k, v] : combined) {
           spill(std::move(const_cast<K&>(k)), std::move(v));

@@ -73,6 +73,8 @@ const char* counter_name(CounterId id) {
     case CounterId::kStreamSlackRaises: return "stream.slack_raises";
     case CounterId::kLintStreamBackpressure:
       return "lint.stream_backpressure";
+    case CounterId::kDetsanTasksReplayed: return "detsan.tasks_replayed";
+    case CounterId::kDetsanDivergences: return "detsan.divergences";
     case CounterId::kNumCounters: break;
   }
   return "unknown";

@@ -96,6 +96,8 @@ enum class CounterId : u32 {
   kStreamWindowWidenings,  ///< backpressure batch-window widenings applied
   kStreamSlackRaises,      ///< backpressure re-verify slack raises applied
   kLintStreamBackpressure, ///< YL006 diagnostics emitted by the plan linter
+  kDetsanTasksReplayed,    ///< tasks re-executed by the determinism sanitizer
+  kDetsanDivergences,      ///< YL007 replay divergences observed by DetSan
   kNumCounters,
 };
 

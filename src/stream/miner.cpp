@@ -220,9 +220,11 @@ class StreamingMiner {
 
     // ---- count ----
     maybe_kill(b, StreamPhase::kCount);
+    // Both the item job and the tracked job consume this source, but a
+    // parallelize() node is driver-held and never recomputed, so a
+    // persist() here would be dead code (YL003).
     auto batch_rdd = ctx_.parallelize(std::move(arrived), options_.partitions)
                          .named(label + ":transactions");
-    batch_rdd.persist();  // consumed by the item job and the tracked job
 
     // Batch L1: every item's arrival count this window (no threshold -- an
     // infrequent item may become frequent later, so all counts are kept).
@@ -451,13 +453,12 @@ class StreamingMiner {
     return levels;
   }
 
-  /// Fresh RDD over the full ingested history (driver-held replay buffer);
-  /// persisted because one counting job consumes it more than once.
+  /// Fresh RDD over the full ingested history (driver-held replay buffer).
+  /// Not persisted: parallelize() sources are never recomputed, so the
+  /// multi-job consumption is free and a persist() would be dead (YL003).
   engine::RDD<Transaction> history() {
-    auto rdd = ctx_.parallelize(history_, options_.partitions)
-                   .named("stream:history");
-    rdd.persist();
-    return rdd;
+    return ctx_.parallelize(history_, options_.partitions)
+        .named("stream:history");
   }
 
   // --- thresholds --------------------------------------------------------

@@ -1,0 +1,146 @@
+// Canonical hashing for DetSan replay comparison (engine/detsan.h).
+//
+// The determinism sanitizer re-executes sampled tasks with a permuted input
+// order and must decide whether two outputs are "the same data". That needs
+// two hash shapes over the same element hash:
+//
+//   canon_hash_ordered    sequence hash -- position matters. Used where the
+//                         engine's contract fixes the output order
+//                         (map_partitions replayed with the same input).
+//   canon_hash_unordered  multiset hash -- commutative combine, so any
+//                         permutation of equal elements hashes equal. Used
+//                         for element-wise operators, where a pure function
+//                         over a permuted input must yield the permuted
+//                         (i.e. multiset-equal) output.
+//
+// Element hashing is canonical, not representational: floating-point +0.0
+// and -0.0 hash equal (they compare equal, so a replay that flips the sign
+// of a zero is not a divergence), and integral types hash through a fixed
+// 64-bit widening so i32(5) in one build hashes like i64(5) in another.
+// Built on the repo's XXH64 (util/checksum.h) and SplitMix64 (util/rng.h).
+//
+// Only the shapes the engine shuffles need hashing: arithmetic scalars,
+// std::string, and pairs/vectors thereof, recursively. `is_canon_hashable_v`
+// lets templated replay hooks compile for every element type and skip the
+// ones they cannot hash (`if constexpr`).
+#pragma once
+
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/checksum.h"
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace yafim::util {
+
+template <typename T, typename = void>
+struct CanonHashable : std::bool_constant<std::is_arithmetic_v<T>> {};
+
+template <>
+struct CanonHashable<std::string> : std::true_type {};
+
+// Component types decay before the recursive lookup: hash-map iteration
+// yields std::pair<const K, V> and that must hash exactly like
+// std::pair<K, V>.
+template <typename A, typename B>
+struct CanonHashable<std::pair<A, B>>
+    : std::bool_constant<CanonHashable<std::decay_t<A>>::value &&
+                         CanonHashable<std::decay_t<B>>::value> {};
+
+template <typename E>
+struct CanonHashable<std::vector<E>> : CanonHashable<std::decay_t<E>> {};
+
+template <typename T>
+inline constexpr bool is_canon_hashable_v = CanonHashable<std::decay_t<T>>::value;
+
+namespace detail {
+/// Domain-separation seeds so a vector of pairs never collides with a pair
+/// of vectors holding the same scalars.
+constexpr u64 kCanonScalarSeed = 0xC0DE0001;
+constexpr u64 kCanonStringSeed = 0xC0DE0002;
+constexpr u64 kCanonPairSeed = 0xC0DE0003;
+constexpr u64 kCanonSeqSeed = 0xC0DE0004;
+constexpr u64 kCanonSetSeed = 0xC0DE0005;
+}  // namespace detail
+
+template <typename T>
+  requires std::is_arithmetic_v<T>
+u64 canon_hash_value(T v) {
+  u64 bits;
+  if constexpr (std::is_floating_point_v<T>) {
+    // Canonicalize sign of zero; NaNs keep their payload bits (two NaNs of
+    // the same bit pattern hash equal, which is the strictest comparison a
+    // replay can make without an equality that NaN would break anyway).
+    const double d = (v == T{0}) ? 0.0 : static_cast<double>(v);
+    static_assert(sizeof(d) == sizeof(bits));
+    __builtin_memcpy(&bits, &d, sizeof(bits));
+  } else if constexpr (std::is_signed_v<T>) {
+    bits = static_cast<u64>(static_cast<i64>(v));
+  } else {
+    bits = static_cast<u64>(v);
+  }
+  return mix64(bits ^ detail::kCanonScalarSeed);
+}
+
+inline u64 canon_hash_value(const std::string& s) {
+  return xxh64(s.data(), s.size(), detail::kCanonStringSeed);
+}
+
+template <typename A, typename B>
+  requires(is_canon_hashable_v<A> && is_canon_hashable_v<B>)
+u64 canon_hash_value(const std::pair<A, B>& p);
+
+template <typename E>
+  requires is_canon_hashable_v<E>
+u64 canon_hash_value(const std::vector<E>& v);
+
+template <typename A, typename B>
+  requires(is_canon_hashable_v<A> && is_canon_hashable_v<B>)
+u64 canon_hash_value(const std::pair<A, B>& p) {
+  u64 h = detail::kCanonPairSeed;
+  h = mix64(h ^ canon_hash_value(p.first));
+  h = mix64(h ^ canon_hash_value(p.second));
+  return h;
+}
+
+template <typename E>
+  requires is_canon_hashable_v<E>
+u64 canon_hash_value(const std::vector<E>& v) {
+  u64 h = mix64(detail::kCanonSeqSeed ^ v.size());
+  for (const E& e : v) h = mix64(h ^ canon_hash_value(e));
+  return h;
+}
+
+/// Order-sensitive hash of any iterable of hashable elements.
+template <typename C>
+u64 canon_hash_ordered(const C& c) {
+  u64 h = mix64(detail::kCanonSeqSeed);
+  u64 n = 0;
+  for (const auto& e : c) {
+    h = mix64(h ^ canon_hash_value(e));
+    ++n;
+  }
+  return mix64(h ^ n);
+}
+
+/// Order-insensitive (multiset) hash: sum + xor of per-element mixes are
+/// both commutative, so any permutation of equal elements hashes equal,
+/// while dropping/duplicating an element moves the sum.
+template <typename C>
+u64 canon_hash_unordered(const C& c) {
+  u64 sum = 0;
+  u64 xr = 0;
+  u64 n = 0;
+  for (const auto& e : c) {
+    const u64 h = mix64(canon_hash_value(e) ^ detail::kCanonSetSeed);
+    sum += h;
+    xr ^= h;
+    ++n;
+  }
+  return mix64(sum ^ mix64(xr) ^ n);
+}
+
+}  // namespace yafim::util

@@ -304,6 +304,70 @@ TEST(PlanLinter, StockMrAprioriPlanIsClean) {
   expect_clean(ctx.linter());
 }
 
+// --- diagnostic rendering (PlanLinter::format) ---------------------------
+
+TEST(PlanLinter, FormatRendersRuleSeverityNameAndMessage) {
+  LintDiagnostic diag;
+  diag.rule = "YL001";
+  diag.severity = LintSeverity::kWarn;
+  diag.node_name = "reused";
+  diag.message = "consumed 2 times without persist()";
+  EXPECT_EQ(PlanLinter::format(diag),
+            "YL001 warn 'reused': consumed 2 times without persist()");
+}
+
+TEST(PlanLinter, FormatCoversEverySeverity) {
+  LintDiagnostic diag;
+  diag.rule = "YL009";
+  diag.node_name = "n";
+  diag.message = "m";
+  diag.severity = LintSeverity::kNote;
+  EXPECT_EQ(PlanLinter::format(diag), "YL009 note 'n': m");
+  diag.severity = LintSeverity::kError;
+  EXPECT_EQ(PlanLinter::format(diag), "YL009 error 'n': m");
+}
+
+TEST(PlanLinter, FormatMatchesLiveDiagnosticEndToEnd) {
+  // The exact string the CI lanes grep: a real YL001 rendered by format().
+  Context ctx(lint_on());
+  auto rdd = ctx.parallelize(iota(100), 4)
+                 .map([](const int& x) { return x + 1; })
+                 .named("reused");
+  rdd.count();
+  rdd.count();
+  const auto diags = ctx.linter().diagnostics();
+  ASSERT_EQ(diags.size(), 1u);
+  const std::string line = PlanLinter::format(diags[0]);
+  EXPECT_EQ(line.rfind("YL001 warn 'reused': ", 0), 0u) << line;
+}
+
+// --- YL007 ingestion (DetSan runtime divergences) ------------------------
+
+TEST(PlanLinter, NoteDetsanDivergenceRecordsAnErrorDiagnostic) {
+  Context ctx(lint_on());
+  ctx.linter().note_detsan_divergence(7, "bad-node", "replay diverged");
+  ASSERT_EQ(ctx.linter().count("YL007"), 1u);
+  const auto diags = ctx.linter().diagnostics();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "YL007");
+  EXPECT_EQ(diags[0].severity, LintSeverity::kError);
+  EXPECT_EQ(diags[0].node, 7u);
+  EXPECT_EQ(diags[0].node_name, "bad-node");
+  EXPECT_TRUE(ctx.linter().any_at_least(LintSeverity::kError));
+  EXPECT_EQ(PlanLinter::format(diags[0]),
+            "YL007 error 'bad-node': replay diverged");
+}
+
+TEST(PlanLinter, NodeLabelResolvesNamesAndFallsBack) {
+  Context ctx(lint_on());
+  auto rdd = ctx.parallelize(iota(10), 2);
+  rdd.named("source");
+  EXPECT_EQ(ctx.linter().node_label(rdd.id()), "source");
+  // Unknown ids render as an anonymous label rather than crashing.
+  const std::string anon = ctx.linter().node_label(9999);
+  EXPECT_FALSE(anon.empty());
+}
+
 // --- bookkeeping ---------------------------------------------------------
 
 TEST(PlanLinter, ClearDropsDiagnosticsButKeepsThePlan) {
